@@ -1,0 +1,30 @@
+"""Table I: dataset statistics (delta, tau, rho and Theorem 2's condition).
+
+Benchmarks the statistics computation itself and asserts the structural
+pattern the paper reports: the condition holds for most datasets and fails
+for WE and DB.
+"""
+
+import pytest
+
+from repro.graph.generators import DATASET_NAMES, load_dataset
+from repro.graph.metrics import graph_stats
+
+CONDITION_FAILERS = {"WE", "DB"}
+
+
+@pytest.mark.parametrize("dataset", ["NA", "FB", "DB", "OR"])
+def test_graph_stats_speed(benchmark, dataset):
+    g = load_dataset(dataset)
+    stats = benchmark.pedantic(graph_stats, args=(g,), rounds=1, iterations=1)
+    assert stats.n == g.n
+    assert stats.tau <= stats.degeneracy
+
+
+def test_condition_pattern_matches_paper():
+    satisfied = set()
+    for name in DATASET_NAMES:
+        if graph_stats(load_dataset(name)).satisfies_condition:
+            satisfied.add(name)
+    assert not (CONDITION_FAILERS & satisfied)
+    assert len(satisfied) >= 12  # paper: 14 of 16

@@ -1,0 +1,30 @@
+"""Table III: ablation (HBBMC++ / HBBMC+ / RDegen) and hybrid variants.
+
+Shape checks: early termination never increases branch calls (HBBMC++ vs
+HBBMC+), and the hybrid variants all agree on the answer.
+"""
+
+import pytest
+
+from _bench_utils import check_count, run_cell
+
+DATASETS = ("FB", "DB", "SO")
+ALGORITHMS = ("hbbmc++", "hbbmc+", "rdegen", "ref++", "rcd++", "fac++")
+
+_calls: dict[tuple[str, str], int] = {}
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_table3_cell(benchmark, dataset, algorithm, expected_counts):
+    measurement = run_cell(benchmark, dataset, algorithm)
+    check_count(expected_counts, dataset, measurement)
+    _calls[(dataset, algorithm)] = measurement.counters.total_calls
+
+
+def test_et_reduces_calls():
+    for dataset in DATASETS:
+        full = _calls.get((dataset, "hbbmc++"))
+        if full is None:
+            pytest.skip("cells did not run")
+        assert full <= _calls[(dataset, "hbbmc+")]

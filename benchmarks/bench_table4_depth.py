@@ -1,0 +1,32 @@
+"""Table IV: edge->vertex switch depth d in {1, 2, 3}.
+
+Shape check (the paper's core Table IV observation): increasing d
+increases the number of branching calls — deeper edge branching forfeits
+pivot-based pruning.
+"""
+
+import pytest
+
+from _bench_utils import check_count, run_cell
+
+DATASETS = ("FB", "SK", "SO")
+DEPTHS = (1, 2, 3)
+
+_calls: dict[tuple[str, int], int] = {}
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_table4_cell(benchmark, dataset, depth, expected_counts):
+    measurement = run_cell(benchmark, dataset, "hbbmc++", edge_depth=depth)
+    check_count(expected_counts, dataset, measurement)
+    _calls[(dataset, depth)] = measurement.counters.total_calls
+
+
+def test_depth_one_minimises_calls():
+    for dataset in DATASETS:
+        d1 = _calls.get((dataset, 1))
+        if d1 is None:
+            pytest.skip("cells did not run")
+        assert d1 <= _calls[(dataset, 2)]
+        assert d1 <= _calls[(dataset, 3)]

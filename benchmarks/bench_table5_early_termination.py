@@ -1,0 +1,36 @@
+"""Table V: early-termination threshold t in {0, 1, 2, 3}.
+
+Shape checks: vertex-phase calls decrease monotonically with t, and the
+b0/b ratio is defined whenever ET fires.
+"""
+
+import pytest
+
+from _bench_utils import check_count, run_cell
+
+DATASETS = ("FB", "YO", "SO")
+THRESHOLDS = (0, 1, 2, 3)
+
+_cells: dict[tuple[str, int], object] = {}
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("t", THRESHOLDS)
+def test_table5_cell(benchmark, dataset, t, expected_counts):
+    measurement = run_cell(benchmark, dataset, "hbbmc++", et_threshold=t)
+    check_count(expected_counts, dataset, measurement)
+    _cells[(dataset, t)] = measurement
+
+
+def test_calls_drop_monotonically_with_t():
+    for dataset in DATASETS:
+        if (dataset, 0) not in _cells:
+            pytest.skip("cells did not run")
+        calls = [_cells[(dataset, t)].counters.vertex_calls for t in THRESHOLDS]
+        assert all(a >= b for a, b in zip(calls, calls[1:])), calls
+
+
+def test_ratio_in_unit_interval():
+    for (dataset, t), measurement in _cells.items():
+        if t:
+            assert 0.0 <= measurement.counters.et_ratio <= 1.0

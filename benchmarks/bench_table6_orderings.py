@@ -1,0 +1,33 @@
+"""Table VI: truss-based edge ordering vs degeneracy-lex / min-degree.
+
+Shape check: the truss ordering yields the smallest top-level instance
+bound, and all ordering variants agree on the clique set.
+"""
+
+import pytest
+
+from _bench_utils import check_count, run_cell
+from repro.graph.generators import load_dataset
+from repro.graph.orderings import (
+    degen_lex_edge_ordering,
+    min_degree_edge_ordering,
+)
+from repro.graph.truss import truss_edge_ordering
+
+DATASETS = ("FB", "SK", "SO")
+ALGORITHMS = ("hbbmc++", "vbbmc-dgn", "hbbmc-dgn", "hbbmc-mdg")
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+@pytest.mark.parametrize("algorithm", ALGORITHMS)
+def test_table6_cell(benchmark, dataset, algorithm, expected_counts):
+    measurement = run_cell(benchmark, dataset, algorithm)
+    check_count(expected_counts, dataset, measurement)
+
+
+@pytest.mark.parametrize("dataset", DATASETS)
+def test_truss_bound_is_smallest(dataset):
+    g = load_dataset(dataset)
+    tau = truss_edge_ordering(g).tau
+    assert tau <= degen_lex_edge_ordering(g).tau
+    assert tau <= min_degree_edge_ordering(g).tau

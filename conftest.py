@@ -1,0 +1,13 @@
+"""Make ``src/`` importable for pytest runs without an installed package.
+
+The offline environment lacks the ``wheel`` package, so ``pip install -e .``
+can fail on the PEP-517 path (use ``python setup.py develop`` instead).
+This shim keeps ``pytest tests/ benchmarks/`` working either way.
+"""
+
+import pathlib
+import sys
+
+_SRC = pathlib.Path(__file__).parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))

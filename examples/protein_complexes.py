@@ -1,0 +1,111 @@
+"""Predicting protein complexes from a noisy interaction network.
+
+The paper's second motivating application (Section I, refs [3-4]): in a
+protein-protein interaction (PPI) network, protein complexes appear as
+dense near-cliques, and interactions missed by experiments create
+"defective cliques".  Maximal clique enumeration drives both:
+
+* complexes  — large maximal cliques of the observed network;
+* completion — pairs of overlapping maximal cliques whose union is *almost*
+  complete suggest the missing interactions (Yu et al.'s defective-clique
+  idea).
+
+The synthetic PPI network plants complexes (near-cliques), drops a fraction
+of their internal edges (false negatives) and adds random noise edges.
+
+Run:  python examples/protein_complexes.py
+"""
+
+from __future__ import annotations
+
+import random
+from itertools import combinations
+
+from repro import maximal_cliques
+from repro.graph.adjacency import Graph
+
+
+def synthetic_ppi(
+    num_proteins: int,
+    num_complexes: int,
+    complex_size: int,
+    dropout: float,
+    noise_edges: int,
+    seed: int,
+) -> tuple[Graph, list[set[int]], set[tuple[int, int]]]:
+    """Returns (graph, planted complexes, dropped true interactions)."""
+    rng = random.Random(seed)
+    g = Graph(num_proteins)
+    complexes = []
+    dropped: set[tuple[int, int]] = set()
+    for _ in range(num_complexes):
+        members = rng.sample(range(num_proteins), complex_size)
+        complexes.append(set(members))
+        for u, v in combinations(members, 2):
+            if rng.random() < dropout:
+                dropped.add((u, v) if u < v else (v, u))
+            elif not g.has_edge(u, v):
+                g.add_edge(u, v)
+    added = 0
+    while added < noise_edges:
+        u, v = rng.randrange(num_proteins), rng.randrange(num_proteins)
+        if u != v and not g.has_edge(u, v):
+            g.add_edge(u, v)
+            added += 1
+    dropped = {e for e in dropped if not g.has_edge(*e)}
+    return g, complexes, dropped
+
+
+def predict_missing_interactions(
+    cliques: list[tuple[int, ...]], g: Graph, min_overlap: int
+) -> set[tuple[int, int]]:
+    """Defective-clique completion: if two maximal cliques overlap heavily,
+    the non-edges between their unions are candidate missing interactions."""
+    big = [set(c) for c in cliques if len(c) >= min_overlap + 1]
+    predictions: set[tuple[int, int]] = set()
+    for i in range(len(big)):
+        for j in range(i + 1, len(big)):
+            shared = big[i] & big[j]
+            if len(shared) < min_overlap:
+                continue
+            for u in big[i] - big[j]:
+                for v in big[j] - big[i]:
+                    if u != v and not g.has_edge(u, v):
+                        predictions.add((u, v) if u < v else (v, u))
+    return predictions
+
+
+def main() -> None:
+    g, complexes, dropped = synthetic_ppi(
+        num_proteins=250, num_complexes=12, complex_size=12,
+        dropout=0.12, noise_edges=350, seed=5,
+    )
+    print(f"synthetic PPI network: n={g.n}, m={g.m}, "
+          f"{len(complexes)} planted complexes, "
+          f"{len(dropped)} dropped interactions")
+
+    cliques = maximal_cliques(g, algorithm="hbbmc++")
+    print(f"maximal cliques: {len(cliques)}")
+
+    # --- complex recovery ---------------------------------------------
+    candidates = [set(c) for c in cliques if len(c) >= 6]
+    recovered = 0
+    for planted in complexes:
+        best = max((len(planted & c) / len(planted | c) for c in candidates),
+                   default=0.0)
+        recovered += best >= 0.5
+    print(f"complex recovery: {recovered}/{len(complexes)} planted complexes "
+          f"matched by a large maximal clique (Jaccard >= 0.5)")
+
+    # --- defective-clique completion ------------------------------------
+    predictions = predict_missing_interactions(cliques, g, min_overlap=6)
+    true_hits = predictions & dropped
+    precision = len(true_hits) / len(predictions) if predictions else 0.0
+    recall = len(true_hits) / len(dropped) if dropped else 1.0
+    print(f"missing-interaction prediction: {len(predictions)} predicted, "
+          f"{len(true_hits)} are real dropped edges "
+          f"(precision {precision:.2f}, recall {recall:.2f})")
+
+
+if __name__ == "__main__":
+    main()

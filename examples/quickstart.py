@@ -1,0 +1,45 @@
+"""Quickstart: enumerate maximal cliques with HBBMC++.
+
+Builds a small social-style graph, enumerates its maximal cliques with the
+paper's full algorithm, verifies the output, and prints the statistics that
+decide whether HBBMC's complexity bound beats the classical one (Theorem 2).
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import graph_stats, maximal_cliques, run_with_report, verify_enumeration
+from repro.graph.generators import social_graph
+
+
+def main() -> None:
+    # A 300-vertex power-law-cluster graph (friend-of-friend closure).
+    g = social_graph(300, 6, triad_probability=0.6, seed=7)
+    print(f"graph: n={g.n}, m={g.m}")
+
+    # --- 1. one-call enumeration -------------------------------------
+    cliques = maximal_cliques(g)  # default algorithm: hbbmc++
+    print(f"maximal cliques: {len(cliques)}")
+    largest = max(cliques, key=len)
+    print(f"largest clique ({len(largest)} vertices): {largest}")
+
+    # --- 2. validate the output --------------------------------------
+    problems = verify_enumeration(g, cliques)
+    print(f"verification: {'OK' if not problems else problems[:3]}")
+
+    # --- 3. the paper's Table I statistics ---------------------------
+    stats = graph_stats(g)
+    print(f"degeneracy delta = {stats.degeneracy}, truss tau = {stats.tau}, "
+          f"density rho = {stats.density:.1f}")
+    print("Theorem 2 condition (HBBMC bound beats the state of the art): "
+          f"{'satisfied' if stats.satisfies_condition else 'not satisfied'}")
+
+    # --- 4. work counters --------------------------------------------
+    report = run_with_report(g, algorithm="hbbmc++")
+    c = report.counters
+    print(f"run: {report.seconds * 1000:.1f} ms, "
+          f"{c.total_calls} branching calls, "
+          f"{c.et_hits} early terminations producing {c.et_cliques} cliques")
+
+
+if __name__ == "__main__":
+    main()

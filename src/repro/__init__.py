@@ -1,0 +1,79 @@
+"""repro — Maximal Clique Enumeration with Hybrid Branching & Early Termination.
+
+A from-scratch Python reproduction of the ICDE 2025 paper by Wang, Yu and
+Long: the HBBMC hybrid branch-and-bound framework (edge-oriented branching
+with truss ordering at the initial branch, pivot-based vertex branching
+below), the early-termination technique for t-plex branches, graph
+reduction, the full baseline family (BK, BK_Pivot, BK_Ref, BK_Degen,
+BK_Degree, BK_Rcd, BK_Fac, their graph-reduced variants, reverse search),
+and a benchmark harness regenerating every table and figure of the paper's
+evaluation.
+
+Quick start::
+
+    from repro import maximal_cliques
+    from repro.graph.generators import erdos_renyi_gnm
+
+    g = erdos_renyi_gnm(200, 1200, seed=7)
+    for clique in maximal_cliques(g):
+        print(clique)
+"""
+
+from repro.api import (
+    ALGORITHMS,
+    DEFAULT_ALGORITHM,
+    AlgorithmSpec,
+    count_maximal_cliques,
+    enumerate_to_sink,
+    get_algorithm,
+    maximal_cliques,
+    run_with_report,
+)
+from repro.core.counters import Counters, RunReport
+from repro.core.result import CliqueCollector, CliqueCounter
+from repro.exceptions import (
+    GraphFormatError,
+    InvalidParameterError,
+    InvalidVertexError,
+    NotAPlexError,
+    ReproError,
+    UnknownAlgorithmError,
+)
+from repro.graph.adjacency import Graph
+from repro.graph.metrics import GraphStats, graph_stats
+from repro.verify import (
+    assert_valid_enumeration,
+    brute_force_maximal_cliques,
+    is_maximal_clique,
+    verify_enumeration,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALGORITHMS",
+    "DEFAULT_ALGORITHM",
+    "AlgorithmSpec",
+    "CliqueCollector",
+    "CliqueCounter",
+    "Counters",
+    "Graph",
+    "GraphFormatError",
+    "GraphStats",
+    "InvalidParameterError",
+    "InvalidVertexError",
+    "NotAPlexError",
+    "ReproError",
+    "RunReport",
+    "UnknownAlgorithmError",
+    "assert_valid_enumeration",
+    "brute_force_maximal_cliques",
+    "count_maximal_cliques",
+    "enumerate_to_sink",
+    "get_algorithm",
+    "graph_stats",
+    "is_maximal_clique",
+    "maximal_cliques",
+    "run_with_report",
+    "verify_enumeration",
+]

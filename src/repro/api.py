@@ -1,0 +1,193 @@
+"""Top-level public API: one call to enumerate maximal cliques.
+
+Typical usage::
+
+    from repro import maximal_cliques
+    from repro.graph.generators import erdos_renyi_gnm
+
+    g = erdos_renyi_gnm(200, 1200, seed=7)
+    cliques = maximal_cliques(g)                       # default: HBBMC++
+    count = count_maximal_cliques(g, algorithm="rdegen")
+
+Every algorithm evaluated in the paper is registered under the name used
+there (lower-cased): ``hbbmc++``, ``hbbmc+``, ``hbbmc``, ``ebbmc``,
+``rref``, ``rdegen``, ``rrcd``, ``rfac``, ``ref++``, ``rcd++``, ``fac++``,
+``vbbmc-dgn``, ``hbbmc-dgn``, ``hbbmc-mdg``, the plain BK family, and the
+reverse-search oracle.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from functools import partial
+from typing import Callable
+
+from repro.baselines import (
+    bk,
+    bk_degen,
+    bk_degree,
+    bk_fac,
+    bk_pivot,
+    bk_rcd,
+    bk_ref,
+    rdegen,
+    rfac,
+    rrcd,
+    rref,
+    reverse_search,
+)
+from repro.core.counters import Counters, RunReport
+from repro.core.frameworks import run_hybrid, run_vertex
+from repro.core.result import CliqueCollector, CliqueCounter, CliqueSink
+from repro.exceptions import UnknownAlgorithmError
+from repro.graph.adjacency import Graph
+
+AlgorithmFn = Callable[..., Counters]
+
+
+@dataclass(frozen=True)
+class AlgorithmSpec:
+    """Registry entry: a runnable algorithm plus its description."""
+
+    name: str
+    runner: AlgorithmFn
+    description: str
+    family: str  # "hybrid", "vertex", "edge" or "reverse-search"
+
+
+def _spec(name: str, runner: AlgorithmFn, description: str, family: str) -> AlgorithmSpec:
+    return AlgorithmSpec(name=name, runner=runner, description=description, family=family)
+
+
+ALGORITHMS: dict[str, AlgorithmSpec] = {
+    spec.name: spec
+    for spec in [
+        # --- the paper's contribution ------------------------------------
+        _spec("hbbmc++", partial(run_hybrid, et_threshold=3, graph_reduction=True),
+              "HBBMC + early termination (t=3) + graph reduction (full version)",
+              "hybrid"),
+        _spec("hbbmc+", partial(run_hybrid, et_threshold=0, graph_reduction=True),
+              "HBBMC + graph reduction, without early termination", "hybrid"),
+        _spec("hbbmc", partial(run_hybrid, et_threshold=0, graph_reduction=False),
+              "plain hybrid framework (Algorithm 4)", "hybrid"),
+        _spec("ebbmc", partial(run_hybrid, edge_depth=None, et_threshold=0,
+                               graph_reduction=False),
+              "pure edge-oriented framework (Algorithm 3)", "edge"),
+        _spec("ebbmc++", partial(run_hybrid, edge_depth=None, et_threshold=3,
+                                 graph_reduction=True),
+              "EBBMC + early termination + graph reduction", "edge"),
+        # --- hybrid with alternative vertex phases (Table III) -----------
+        _spec("ref++", partial(run_hybrid, vertex_strategy="ref",
+                               et_threshold=3, graph_reduction=True),
+              "hybrid top + BK_Ref phase + ET + GR", "hybrid"),
+        _spec("rcd++", partial(run_hybrid, vertex_strategy="rcd",
+                               et_threshold=3, graph_reduction=True),
+              "hybrid top + BK_Rcd phase + ET + GR", "hybrid"),
+        _spec("fac++", partial(run_hybrid, vertex_strategy="fac",
+                               et_threshold=3, graph_reduction=True),
+              "hybrid top + BK_Fac phase + ET + GR", "hybrid"),
+        # --- alternative initial orderings (Table VI) ---------------------
+        _spec("vbbmc-dgn", partial(run_vertex, ordering_kind="degeneracy",
+                                   vertex_strategy="tomita", et_threshold=3,
+                                   graph_reduction=True),
+              "vertex-oriented initial branch (degeneracy) + ET + GR",
+              "vertex"),
+        _spec("hbbmc-dgn", partial(run_hybrid, edge_order_kind="degen-lex",
+                                   et_threshold=3, graph_reduction=True),
+              "hybrid with degeneracy-lexicographic edge order", "hybrid"),
+        _spec("hbbmc-mdg", partial(run_hybrid, edge_order_kind="min-degree",
+                                   et_threshold=3, graph_reduction=True),
+              "hybrid with min-endpoint-degree edge order", "hybrid"),
+        # --- the paper's four baselines (Table II) ------------------------
+        _spec("rref", rref, "BK_Ref + graph reduction (Deng et al.)", "vertex"),
+        _spec("rdegen", rdegen, "BK_Degen + graph reduction (Deng et al.)", "vertex"),
+        _spec("rrcd", rrcd, "BK_Rcd + graph reduction (Deng et al.)", "vertex"),
+        _spec("rfac", rfac, "BK_Fac + graph reduction (Deng et al.)", "vertex"),
+        # --- classic family (Appendix A) ----------------------------------
+        _spec("bk", bk, "original Bron-Kerbosch, no pivot", "vertex"),
+        _spec("bk-pivot", bk_pivot, "Tomita pivoting", "vertex"),
+        _spec("bk-ref", bk_ref, "Naudé refined pivoting", "vertex"),
+        _spec("bk-degen", bk_degen, "degeneracy-ordered initial branch", "vertex"),
+        _spec("bk-degree", bk_degree, "degree-ordered initial branch", "vertex"),
+        _spec("bk-rcd", bk_rcd, "top-down min-degree peeling", "vertex"),
+        _spec("bk-fac", bk_fac, "adaptive pivot refinement", "vertex"),
+        # --- related work ---------------------------------------------------
+        _spec("reverse-search", reverse_search,
+              "output-sensitive lexicographic reverse search", "reverse-search"),
+    ]
+}
+
+DEFAULT_ALGORITHM = "hbbmc++"
+
+
+def get_algorithm(name: str) -> AlgorithmSpec:
+    """Look up a registered algorithm (case-insensitive)."""
+    spec = ALGORITHMS.get(name.lower())
+    if spec is None:
+        raise UnknownAlgorithmError(
+            f"unknown algorithm {name!r}; available: {', '.join(sorted(ALGORITHMS))}"
+        )
+    return spec
+
+
+def enumerate_to_sink(
+    g: Graph,
+    sink: CliqueSink,
+    *,
+    algorithm: str = DEFAULT_ALGORITHM,
+    **options,
+) -> Counters:
+    """Stream all maximal cliques of ``g`` into ``sink``.
+
+    ``options`` are forwarded to the underlying framework (e.g.
+    ``et_threshold=2`` for registered hybrid variants).
+    """
+    spec = get_algorithm(algorithm)
+    runner = partial(spec.runner, **options) if options else spec.runner
+    return runner(g, sink)
+
+
+def maximal_cliques(
+    g: Graph,
+    *,
+    algorithm: str = DEFAULT_ALGORITHM,
+    sort: bool = True,
+    **options,
+) -> list[tuple[int, ...]]:
+    """All maximal cliques of ``g`` as a list of vertex tuples.
+
+    With ``sort=True`` (default) each clique is sorted and the list is in
+    lexicographic order, giving a canonical result independent of the
+    algorithm used.
+    """
+    collector = CliqueCollector()
+    enumerate_to_sink(g, collector, algorithm=algorithm, **options)
+    if sort:
+        return collector.sorted_cliques()
+    return collector.cliques
+
+
+def count_maximal_cliques(
+    g: Graph, *, algorithm: str = DEFAULT_ALGORITHM, **options
+) -> int:
+    """Number of maximal cliques of ``g`` (O(1) memory beyond the run)."""
+    counter = CliqueCounter()
+    enumerate_to_sink(g, counter, algorithm=algorithm, **options)
+    return counter.count
+
+
+def run_with_report(
+    g: Graph, *, algorithm: str = DEFAULT_ALGORITHM, **options
+) -> RunReport:
+    """Run an algorithm and return timing + counters (benchmark building block)."""
+    counter = CliqueCounter()
+    start = time.perf_counter()
+    counters = enumerate_to_sink(g, counter, algorithm=algorithm, **options)
+    elapsed = time.perf_counter() - start
+    return RunReport(
+        algorithm=algorithm,
+        clique_count=counter.count,
+        seconds=elapsed,
+        counters=counters,
+    )

@@ -1,0 +1,31 @@
+"""State-of-the-art baselines the paper compares against."""
+
+from repro.baselines.bk_variants import (
+    bk,
+    bk_degen,
+    bk_degree,
+    bk_fac,
+    bk_pivot,
+    bk_rcd,
+    bk_ref,
+    rdegen,
+    rfac,
+    rrcd,
+    rref,
+)
+from repro.baselines.reverse_search import reverse_search
+
+__all__ = [
+    "bk",
+    "bk_degen",
+    "bk_degree",
+    "bk_fac",
+    "bk_pivot",
+    "bk_rcd",
+    "bk_ref",
+    "rdegen",
+    "rfac",
+    "rrcd",
+    "rref",
+    "reverse_search",
+]

@@ -1,0 +1,37 @@
+"""Benchmark harness: regenerate every table and figure of the paper.
+
+Each experiment module returns an :class:`~repro.bench.reporting.ExperimentResult`
+whose rows mirror the corresponding paper table; ``python -m repro.bench all``
+renders them to ``results/``.
+"""
+
+from repro.bench.experiments import (
+    EXPERIMENTS,
+    figure5,
+    run_experiment,
+    table1,
+    table2,
+    table3,
+    table4,
+    table5,
+    table6,
+    table7,
+)
+from repro.bench.reporting import ExperimentResult, render_table
+from repro.bench.runner import measure
+
+__all__ = [
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "figure5",
+    "measure",
+    "render_table",
+    "run_experiment",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+]

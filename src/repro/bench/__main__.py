@@ -1,0 +1,49 @@
+"""Run paper experiments from the command line.
+
+Usage::
+
+    python -m repro.bench table2            # print one table
+    python -m repro.bench all --out results # render everything to files
+    python -m repro.bench table5 --quick    # reduced sweep
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.bench.experiments import EXPERIMENTS, run_experiment
+from repro.bench.reporting import render_table, write_result
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.bench",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        help=f"experiment id or 'all' ({', '.join(EXPERIMENTS)})",
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="reduced sweep (subset of datasets/points)")
+    parser.add_argument("--out", metavar="DIR", default=None,
+                        help="also write rendered tables to DIR")
+    args = parser.parse_args(argv)
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    for name in names:
+        start = time.perf_counter()
+        result = run_experiment(name, quick=args.quick)
+        elapsed = time.perf_counter() - start
+        print(render_table(result))
+        print(f"[{name} regenerated in {elapsed:.1f}s]")
+        print()
+        if args.out:
+            write_result(result, args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

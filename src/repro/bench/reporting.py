@@ -1,0 +1,64 @@
+"""Text rendering for benchmark experiments (paper-shaped tables)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+
+@dataclass
+class ExperimentResult:
+    """One regenerated table or figure series."""
+
+    experiment_id: str
+    title: str
+    header: list[str]
+    rows: list[list[str]] = field(default_factory=list)
+    notes: list[str] = field(default_factory=list)
+
+    def add_row(self, *cells) -> None:
+        self.rows.append([_fmt(c) for c in cells])
+
+    def add_note(self, note: str) -> None:
+        self.notes.append(note)
+
+
+def _fmt(cell) -> str:
+    if isinstance(cell, float):
+        if cell == 0:
+            return "0"
+        if abs(cell) >= 1000:
+            return f"{cell:.0f}"
+        if abs(cell) >= 10:
+            return f"{cell:.1f}"
+        return f"{cell:.3f}" if abs(cell) < 1 else f"{cell:.2f}"
+    return str(cell)
+
+
+def render_table(result: ExperimentResult) -> str:
+    """Aligned plain-text table with title and notes."""
+    widths = [len(h) for h in result.header]
+    for row in result.rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+
+    def line(cells: list[str]) -> str:
+        return "  ".join(c.rjust(w) for c, w in zip(cells, widths))
+
+    out = [f"== {result.experiment_id}: {result.title} =="]
+    out.append(line(result.header))
+    out.append(line(["-" * w for w in widths]))
+    for row in result.rows:
+        out.append(line(row))
+    for note in result.notes:
+        out.append(f"note: {note}")
+    return "\n".join(out)
+
+
+def write_result(result: ExperimentResult, directory: str | Path) -> Path:
+    """Write the rendered table to ``directory/<experiment_id>.txt``."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{result.experiment_id}.txt"
+    path.write_text(render_table(result) + "\n", encoding="utf-8")
+    return path

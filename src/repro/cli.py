@@ -1,0 +1,179 @@
+"""Command-line interface: ``repro-mce`` / ``python -m repro``.
+
+Sub-commands:
+
+* ``enumerate FILE``  — print every maximal clique of a graph file;
+* ``count FILE``      — count maximal cliques (optionally for all algorithms);
+* ``stats FILE``      — Table-I statistics (n, m, delta, tau, rho, condition);
+* ``datasets``        — list the bundled proxy datasets;
+* ``verify FILE``     — enumerate, then validate the result set;
+* ``bench EXP``       — shortcut for ``python -m repro.bench EXP``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.api import ALGORITHMS, DEFAULT_ALGORITHM, maximal_cliques, run_with_report
+from repro.graph.adjacency import Graph
+from repro.graph.generators import DATASET_NAMES, load_dataset, paper_stats
+from repro.graph.io import load_graph
+from repro.graph.metrics import graph_stats
+from repro.verify import verify_enumeration
+
+
+def _load(args: argparse.Namespace) -> Graph:
+    if args.dataset:
+        return load_dataset(args.dataset)
+    if not args.graph:
+        raise SystemExit("error: provide a graph file or --dataset CODE")
+    return load_graph(args.graph, fmt=args.format)
+
+
+def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("graph", nargs="?", help="path to a graph file")
+    parser.add_argument("--dataset", metavar="CODE",
+                        help=f"bundled proxy dataset ({', '.join(DATASET_NAMES)})")
+    parser.add_argument("--format", choices=["edgelist", "dimacs", "metis", "json"],
+                        default=None, help="input format (default: by suffix)")
+    parser.add_argument("--algorithm", "-a", default=DEFAULT_ALGORITHM,
+                        choices=sorted(ALGORITHMS), metavar="NAME",
+                        help=f"algorithm (default {DEFAULT_ALGORITHM}; "
+                             f"see 'repro-mce algorithms')")
+
+
+def cmd_enumerate(args: argparse.Namespace) -> int:
+    g = _load(args)
+    cliques = maximal_cliques(g, algorithm=args.algorithm)
+    limit = args.limit if args.limit is not None else len(cliques)
+    for clique in cliques[:limit]:
+        print(" ".join(map(str, clique)))
+    if limit < len(cliques):
+        print(f"... ({len(cliques) - limit} more)", file=sys.stderr)
+    print(f"{len(cliques)} maximal cliques", file=sys.stderr)
+    return 0
+
+
+def cmd_count(args: argparse.Namespace) -> int:
+    g = _load(args)
+    names = sorted(ALGORITHMS) if args.all else [args.algorithm]
+    for name in names:
+        report = run_with_report(g, algorithm=name)
+        print(f"{name:16s} {report.clique_count:10d} cliques  "
+              f"{report.seconds:8.3f}s  {report.counters.total_calls:10d} calls")
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace) -> int:
+    g = _load(args)
+    start = time.perf_counter()
+    s = graph_stats(g)
+    elapsed = time.perf_counter() - start
+    print(f"n          = {s.n}")
+    print(f"m          = {s.m}")
+    print(f"degeneracy = {s.degeneracy}")
+    print(f"tau        = {s.tau}")
+    print(f"rho        = {s.density:.2f}")
+    print(f"h-index    = {s.h_index}")
+    print(f"triangles  = {s.triangles}")
+    print(f"max degree = {s.max_degree}")
+    print(f"Theorem 2 condition (delta >= max(3, tau + 3 ln rho / ln 3)): "
+          f"{'satisfied' if s.satisfies_condition else 'NOT satisfied'} "
+          f"(threshold {s.condition_threshold:.2f})")
+    print(f"[computed in {elapsed:.2f}s]")
+    return 0
+
+
+def cmd_datasets(_args: argparse.Namespace) -> int:
+    print(f"{'code':4s}  {'category':15s}  {'paper n':>9s}  {'paper m':>11s}  "
+          f"{'paper delta':>11s}  {'paper tau':>9s}")
+    for code in DATASET_NAMES:
+        p = paper_stats(code)
+        print(f"{code:4s}  {p.category:15s}  {p.n:9d}  {p.m:11d}  "
+              f"{p.degeneracy:11d}  {p.tau:9d}")
+    return 0
+
+
+def cmd_algorithms(_args: argparse.Namespace) -> int:
+    for name in sorted(ALGORITHMS):
+        spec = ALGORITHMS[name]
+        print(f"{name:16s} [{spec.family:14s}] {spec.description}")
+    return 0
+
+
+def cmd_verify(args: argparse.Namespace) -> int:
+    g = _load(args)
+    cliques = maximal_cliques(g, algorithm=args.algorithm)
+    problems = verify_enumeration(g, cliques)
+    if problems:
+        for problem in problems[:25]:
+            print(f"PROBLEM: {problem}")
+        print(f"FAILED with {len(problems)} problems")
+        return 1
+    print(f"OK: {len(cliques)} maximal cliques, all checks passed")
+    return 0
+
+
+def cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench.__main__ import main as bench_main
+
+    argv = [args.experiment]
+    if args.quick:
+        argv.append("--quick")
+    if args.out:
+        argv.extend(["--out", args.out])
+    return bench_main(argv)
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-mce",
+        description="Maximal clique enumeration with hybrid branching and "
+                    "early termination (ICDE 2025 reproduction).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("enumerate", help="print all maximal cliques")
+    _add_graph_arguments(p)
+    p.add_argument("--limit", type=int, default=None,
+                   help="print at most this many cliques")
+    p.set_defaults(fn=cmd_enumerate)
+
+    p = sub.add_parser("count", help="count maximal cliques")
+    _add_graph_arguments(p)
+    p.add_argument("--all", action="store_true",
+                   help="run every registered algorithm")
+    p.set_defaults(fn=cmd_count)
+
+    p = sub.add_parser("stats", help="graph statistics (Table I columns)")
+    _add_graph_arguments(p)
+    p.set_defaults(fn=cmd_stats)
+
+    p = sub.add_parser("datasets", help="list bundled proxy datasets")
+    p.set_defaults(fn=cmd_datasets)
+
+    p = sub.add_parser("algorithms", help="list registered algorithms")
+    p.set_defaults(fn=cmd_algorithms)
+
+    p = sub.add_parser("verify", help="enumerate and validate the result")
+    _add_graph_arguments(p)
+    p.set_defaults(fn=cmd_verify)
+
+    p = sub.add_parser("bench", help="regenerate a paper table/figure")
+    p.add_argument("experiment", help="experiment id or 'all'")
+    p.add_argument("--quick", action="store_true")
+    p.add_argument("--out", default=None)
+    p.set_defaults(fn=cmd_bench)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

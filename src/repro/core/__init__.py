@@ -1,0 +1,58 @@
+"""Core enumeration machinery: engines, early termination, reduction."""
+
+from repro.core.counters import Counters, RunReport
+from repro.core.early_termination import (
+    count_plex_cliques,
+    cycle_partial_cliques,
+    path_partial_cliques,
+    plex_branch_cliques,
+    two_plex_cliques,
+)
+from repro.core.frameworks import run_hybrid, run_vertex
+from repro.core.phases import (
+    PIVOT_KINDS,
+    VERTEX_STRATEGIES,
+    EngineContext,
+    fac_phase,
+    make_context,
+    pivot_phase,
+    rcd_phase,
+)
+from repro.core.reduction import ReductionResult, reduce_graph
+from repro.core.result import (
+    CliqueCollector,
+    CliqueCounter,
+    CliqueSink,
+    SizeHistogram,
+    materialize,
+    suppressing_sink,
+    tee_sink,
+)
+
+__all__ = [
+    "PIVOT_KINDS",
+    "VERTEX_STRATEGIES",
+    "CliqueCollector",
+    "CliqueCounter",
+    "CliqueSink",
+    "Counters",
+    "EngineContext",
+    "ReductionResult",
+    "RunReport",
+    "SizeHistogram",
+    "count_plex_cliques",
+    "cycle_partial_cliques",
+    "fac_phase",
+    "make_context",
+    "materialize",
+    "path_partial_cliques",
+    "pivot_phase",
+    "plex_branch_cliques",
+    "rcd_phase",
+    "reduce_graph",
+    "run_hybrid",
+    "run_vertex",
+    "suppressing_sink",
+    "tee_sink",
+    "two_plex_cliques",
+]

@@ -1,0 +1,79 @@
+"""Instrumentation counters shared by every enumeration engine.
+
+The paper reports machine-independent work measures alongside wall-clock
+time: the number of recursive branching calls (``#Calls`` in Tables IV/V)
+and the early-termination ratio ``b0 / b`` (Table V).  Engines increment
+these counters as they run; the benchmark harness snapshots them into the
+reproduced tables.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, fields
+
+
+@dataclass
+class Counters:
+    """Work counters for one enumeration run.
+
+    Attributes:
+        vertex_calls: vertex-oriented branch invocations (VBBMC_Rec calls).
+        edge_calls: edge-oriented branch invocations (EBBMC_Rec calls).
+        singleton_branches: Eq.-(3) zero-degree singleton branches examined.
+        emitted: maximal cliques reported.
+        et_hits: branches resolved by early termination.
+        et_cliques: cliques constructed directly by early termination.
+        plex_branches: branches whose candidate graph is a t-plex (paper's b).
+        plex_terminable: t-plex branches with empty exclusion graph (b0).
+        reduction_removed: vertices peeled by graph reduction.
+        reduction_emitted: cliques emitted directly by graph reduction.
+        suppressed_candidates: reduced-graph cliques dropped by suppression.
+    """
+
+    vertex_calls: int = 0
+    edge_calls: int = 0
+    singleton_branches: int = 0
+    emitted: int = 0
+    et_hits: int = 0
+    et_cliques: int = 0
+    plex_branches: int = 0
+    plex_terminable: int = 0
+    reduction_removed: int = 0
+    reduction_emitted: int = 0
+    suppressed_candidates: int = 0
+
+    @property
+    def total_calls(self) -> int:
+        """All branching calls: vertex + edge (the Table IV #Calls)."""
+        return self.vertex_calls + self.edge_calls
+
+    @property
+    def et_ratio(self) -> float:
+        """The paper's Table V 'Ratio': b0 / b (0 when no plex branch seen)."""
+        return self.plex_terminable / self.plex_branches if self.plex_branches else 0.0
+
+    def as_dict(self) -> dict[str, int]:
+        """Plain-dict snapshot (for reports and JSON serialisation)."""
+        return {f.name: getattr(self, f.name) for f in fields(self)}
+
+    def merge(self, other: "Counters") -> None:
+        """Accumulate another run's counters into this one."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+
+
+@dataclass
+class RunReport:
+    """Outcome of one algorithm run: what was found and what it cost."""
+
+    algorithm: str
+    clique_count: int
+    seconds: float
+    counters: Counters = field(default_factory=Counters)
+
+    def summary(self) -> str:
+        """One-line human-readable summary."""
+        return (
+            f"{self.algorithm}: {self.clique_count} maximal cliques in "
+            f"{self.seconds:.3f}s ({self.counters.total_calls} branch calls)"
+        )

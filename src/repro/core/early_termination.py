@@ -1,0 +1,428 @@
+"""Early termination: construct maximal cliques of dense branches directly.
+
+This module implements Section IV of the paper (Algorithms 5-8).  Given a
+branch ``B = (S, gC, gX)`` whose candidate graph ``gC`` is a t-plex
+(``t <= 3``) and whose exclusion graph is empty, the maximal cliques of the
+branch are ``S ∪ Q`` for every maximal clique ``Q`` of ``gC`` — and those
+``Q`` are exactly the *maximal independent sets* of the complement of
+``gC``, which for a 3-plex is a disjoint union of isolated vertices, simple
+paths and simple cycles.  Maximal independent sets of paths and cycles are
+enumerated by the jump rules of Algorithms 6 and 7; per-component choices
+combine by cartesian product (Algorithm 8 lines 5-8).
+
+Every clique costs O(|clique|) to assemble after an O(E(gC-bar)) setup, the
+paper's "nearly optimal" bound (Theorems 3 and 4).
+
+Correctness precondition (beyond the paper): inside HBBMC's vertex phase the
+candidate *pair* structure may exclude edges ranked before the branch's
+defining edge.  ET is applied only when no such pruned pair lies inside the
+candidate set, so ``gC`` really is the induced subgraph ``G[C]`` — see
+:func:`try_early_termination` and DESIGN.md.
+"""
+
+from __future__ import annotations
+
+import itertools
+from functools import lru_cache
+from typing import Iterator, Mapping, Sequence
+
+from repro.exceptions import InvalidParameterError
+from repro.graph.plex import ComplementStructure, decompose_complement
+
+Adjacency = Mapping[int, set[int]] | Sequence[set[int]]
+
+
+# ----------------------------------------------------------------------
+# Pattern caches: the maximal-independent-set structure of a path/cycle
+# depends only on its length, so the index patterns are computed once per
+# length and instantiated per component with a list comprehension.  This is
+# what makes early termination's per-clique cost a handful of list ops.
+# ----------------------------------------------------------------------
+@lru_cache(maxsize=None)
+def _path_patterns(n: int) -> tuple[tuple[int, ...], ...]:
+    """Index patterns of all maximal independent sets of a path of length n."""
+    identity = list(range(n))
+    return tuple(tuple(mis) for mis in _path_partial_cliques_uncached(identity))
+
+
+@lru_cache(maxsize=None)
+def _cycle_patterns(n: int) -> tuple[tuple[int, ...], ...]:
+    """Index patterns of all maximal independent sets of a cycle of length n."""
+    identity = list(range(n))
+    return tuple(tuple(mis) for mis in _cycle_partial_cliques_uncached(identity))
+
+
+# ----------------------------------------------------------------------
+# Algorithm 6: maximal independent sets of a simple path
+# ----------------------------------------------------------------------
+def path_partial_cliques(path: list[int]) -> list[list[int]]:
+    """All maximal independent sets of a complement path (Algorithm 6).
+
+    ``path`` lists the vertices in path order; consecutive entries are
+    complement-adjacent, i.e. *non*-adjacent in the candidate graph.  Each
+    returned set is a maximal clique of the candidate graph restricted to
+    the path's vertices.
+    """
+    if not path:
+        raise InvalidParameterError("path must be non-empty")
+    return [[path[i] for i in pattern] for pattern in _path_patterns(len(path))]
+
+
+def _path_partial_cliques_uncached(path: list[int]) -> list[list[int]]:
+    """The jump-rule enumeration itself (used to build the pattern cache)."""
+    n = len(path)
+    if n == 1:
+        return [[path[0]]]
+    results: list[list[int]] = []
+    _enum_from(path, [0], results)
+    _enum_from(path, [1], results)
+    return results
+
+
+def _enum_from(path: list[int], indices: list[int], results: list[list[int]]) -> None:
+    """Extend the partial set ending at ``indices[-1]`` by the jump rules.
+
+    From the last chosen index ``i`` the next member is ``i + 2`` (skip the
+    complement-neighbour) or ``i + 3`` (skip two; both skipped vertices are
+    blocked by the set ends).  When ``i + 2`` runs past the path the set is
+    maximal and reported.
+    """
+    n = len(path)
+    i = indices[-1]
+    if i + 2 > n - 1:
+        results.append([path[j] for j in indices])
+        return
+    _enum_from(path, indices + [i + 2], results)
+    if i + 3 <= n - 1:
+        _enum_from(path, indices + [i + 3], results)
+
+
+def _enum_forced(path: list[int], prefix: list[int], results: list[list[int]]) -> None:
+    """Like :func:`_enum_from` but the start vertex is forced to index 0."""
+    if len(path) == 1:
+        results.append(prefix + [path[0]])
+        return
+    collected: list[list[int]] = []
+    _enum_from(path, [0], collected)
+    results.extend(prefix + mis for mis in collected)
+
+
+# ----------------------------------------------------------------------
+# Algorithm 7: maximal independent sets of a simple cycle
+# ----------------------------------------------------------------------
+def cycle_partial_cliques(cycle: list[int]) -> list[list[int]]:
+    """All maximal independent sets of a complement cycle (Algorithm 7).
+
+    Cases follow the paper: explicit answers for |c| in {3, 4, 5}; for
+    longer cycles, three path reductions partitioned by whether v1, v2 or
+    neither belongs to the set.
+    """
+    if len(cycle) < 3:
+        raise InvalidParameterError(f"a cycle needs >= 3 vertices, got {len(cycle)}")
+    return [[cycle[i] for i in pattern] for pattern in _cycle_patterns(len(cycle))]
+
+
+def _cycle_partial_cliques_uncached(cycle: list[int]) -> list[list[int]]:
+    """The three-case reduction itself (used to build the pattern cache)."""
+    n = len(cycle)
+    v = cycle
+    if n == 3:
+        return [[v[0]], [v[1]], [v[2]]]
+    if n == 4:
+        return [[v[0], v[2]], [v[1], v[3]]]
+    if n == 5:
+        return [
+            [v[0], v[2]], [v[0], v[3]], [v[1], v[3]], [v[1], v[4]], [v[2], v[4]],
+        ]
+    results: list[list[int]] = []
+    # Case 1: v1 in the set -> path v1 .. v_{n-1}, start forced at v1.
+    _enum_forced(v[: n - 1], [], results)
+    # Case 2: v2 in the set (v1 out) -> path v2 .. v_n, start forced at v2.
+    _enum_forced(v[1:], [], results)
+    # Case 3: neither v1 nor v2 -> v_n and v3 are forced; continue on the
+    # path v3 .. v_{n-2}.
+    case3: list[list[int]] = []
+    _enum_forced(v[2: n - 2], [v[n - 1]], case3)
+    results.extend(case3)
+    return results
+
+
+# ----------------------------------------------------------------------
+# Algorithm 5 (literal form): 2-plex pair partition
+# ----------------------------------------------------------------------
+def two_plex_cliques(
+    vertices: set[int], adjacency: Adjacency
+) -> Iterator[tuple[int, ...]]:
+    """Enumerate maximal cliques of a 2-plex by the F/L/R partition.
+
+    This is the paper's Algorithm 5, kept in its literal form as an
+    independent cross-check of the unified complement-walk implementation
+    (:func:`plex_branch_cliques` subsumes it).
+    """
+    keep = set(vertices)
+    size = len(keep)
+    universal: list[int] = []
+    left: list[int] = []
+    right: list[int] = []
+    paired: set[int] = set()
+    for v in sorted(keep):
+        missing = keep - adjacency[v] - {v}
+        if len(missing) > 1:
+            raise InvalidParameterError("input is not a 2-plex")
+        if not missing:
+            universal.append(v)
+        elif v not in paired:
+            (w,) = missing
+            left.append(v)
+            right.append(w)
+            paired.add(v)
+            paired.add(w)
+    del size
+    for mask in range(1 << len(left)):
+        members = list(universal)
+        for i in range(len(left)):
+            members.append(right[i] if (mask >> i) & 1 else left[i])
+        yield tuple(members)
+
+
+# ----------------------------------------------------------------------
+# Algorithm 8: full t-plex branch construction
+# ----------------------------------------------------------------------
+def plex_branch_cliques(
+    vertices: set[int], adjacency: Adjacency
+) -> Iterator[tuple[int, ...]]:
+    """Yield every maximal clique of a t-plex candidate set (t <= 3).
+
+    ``adjacency`` is consulted only within ``vertices``.  Raises
+    :class:`repro.exceptions.NotAPlexError` when the complement has a vertex
+    of degree > 2 (not a 3-plex).
+    """
+    structure: ComplementStructure = decompose_complement(vertices, adjacency)
+    yield from combine_structure(structure)
+
+
+def combine_structure(structure: ComplementStructure) -> Iterator[tuple[int, ...]]:
+    """Cartesian-product combination step (Algorithm 8 lines 5-8)."""
+    component_choices: list[list[list[int]]] = []
+    for path in structure.paths:
+        component_choices.append(path_partial_cliques(path))
+    for cycle in structure.cycles:
+        component_choices.append(cycle_partial_cliques(cycle))
+    base = structure.universal
+    if not component_choices:
+        yield tuple(base)
+        return
+    for combo in itertools.product(*component_choices):
+        members = list(base)
+        for part in combo:
+            members.extend(part)
+        yield tuple(members)
+
+
+def count_plex_cliques(vertices: set[int], adjacency: Adjacency) -> int:
+    """Number of maximal cliques of a t-plex without materialising them.
+
+    Multiplies per-component counts — useful for tests and for sizing the
+    output before enumeration.
+    """
+    structure = decompose_complement(vertices, adjacency)
+    total = 1
+    for path in structure.paths:
+        total *= len(path_partial_cliques(path))
+    for cycle in structure.cycles:
+        total *= len(cycle_partial_cliques(cycle))
+    return total
+
+
+# ----------------------------------------------------------------------
+# Engine hooks
+# ----------------------------------------------------------------------
+def cand_plex_ok(C: set[int], cand, full, t: int) -> bool:
+    """Dual-view verification: C is a t-plex under ``cand`` with no pair
+    adjacent in ``full`` but missing from ``cand`` (rank-pruned)."""
+    size = len(C)
+    threshold = size - t
+    for v in C:
+        cand_degree = len(cand[v] & C)
+        if cand_degree < threshold:
+            return False
+        if len(full[v] & C) != cand_degree:
+            return False  # a rank-pruned pair lies inside C
+    return True
+
+
+def fire_plex(S, C, cand, ctx, min_cand_degree: int | None = None) -> None:
+    """Emit every maximal clique of the verified plex branch directly.
+
+    This is the hot path of HBBMC++, so Algorithm 8 is inlined: build the
+    complement adjacency with one set difference per vertex, peel paths and
+    cycles with plain loops, instantiate the cached per-length index
+    patterns, and emit the cartesian product.  Per clique this costs a few
+    list operations — the paper's "proportional to the number of maximal
+    cliques" bound.
+
+    ``min_cand_degree`` is the (already computed) minimum within-C candidate
+    degree when the caller knows it; a value of ``|C| - 1`` means the branch
+    is a 1-plex — a clique — and the single output needs no complement
+    machinery at all (by far the most common early-termination case).
+    """
+    counters = ctx.counters
+    counters.plex_terminable += 1
+    counters.et_hits += 1
+    base = tuple(S)
+    emit = ctx.sink
+    size = len(C)
+    if min_cand_degree is not None and min_cand_degree >= size - 1:
+        emit(base + tuple(sorted(C)))
+        counters.et_cliques += 1
+        return
+
+    # Tiny branches dominate in practice; handle them with direct casework
+    # (a couple of adjacency probes) instead of the complement machinery.
+    if size == 1:
+        emit(base + tuple(C))
+        counters.et_cliques += 1
+        return
+    if size == 2:
+        u, v = sorted(C)
+        if v in cand[u]:
+            emit(base + (u, v))
+            counters.et_cliques += 1
+        else:
+            emit(base + (u,))
+            emit(base + (v,))
+            counters.et_cliques += 2
+        return
+    if size == 3:
+        a, b, c = sorted(C)
+        ab = b in cand[a]
+        ac = c in cand[a]
+        bc = c in cand[b]
+        present = ab + ac + bc
+        if present == 3:
+            cliques = ((a, b, c),)
+        elif present == 2:
+            # One missing pair: the shared vertex pairs with each endpoint.
+            if not ab:
+                cliques = ((a, c), (b, c))
+            elif not ac:
+                cliques = ((a, b), (b, c))
+            else:
+                cliques = ((a, b), (a, c))
+        elif present == 1:
+            # One edge and an isolated vertex.
+            if ab:
+                cliques = ((a, b), (c,))
+            elif ac:
+                cliques = ((a, c), (b,))
+            else:
+                cliques = ((b, c), (a,))
+        else:
+            cliques = ((a,), (b,), (c,))
+        for members in cliques:
+            emit(base + members)
+        counters.et_cliques += len(cliques)
+        return
+
+    # Complement adjacency restricted to C (entries only for non-universal
+    # vertices); universal vertices join every clique.
+    universal: list[int] = []
+    comp: dict[int, set[int]] = {}
+    for v in C:
+        missing = C - cand[v]
+        missing.discard(v)
+        if missing:
+            comp[v] = missing
+        else:
+            universal.append(v)
+
+    if not comp:
+        emit(base + tuple(sorted(universal)))
+        counters.et_cliques += 1
+        return
+
+    # Peel complement paths (walk from degree-1 endpoints), then cycles.
+    choices: list[list[tuple[int, ...]]] = []
+    ordered = sorted(comp)
+    seen: set[int] = set()
+    for v in ordered:
+        if v in seen or len(comp[v]) != 1:
+            continue
+        path = [v]
+        prev, cur = None, v
+        while True:
+            step = [w for w in comp[cur] if w != prev]
+            if not step:
+                break
+            prev, cur = cur, step[0]
+            path.append(cur)
+        seen.update(path)
+        choices.append(
+            [tuple(path[i] for i in pat) for pat in _path_patterns(len(path))]
+        )
+    if len(seen) < len(ordered):
+        for v in ordered:
+            if v in seen:
+                continue
+            cycle = [v]
+            prev, cur = v, min(comp[v])
+            while cur != v:
+                cycle.append(cur)
+                nxt = next(w for w in comp[cur] if w != prev)
+                prev, cur = cur, nxt
+            seen.update(cycle)
+            choices.append(
+                [tuple(cycle[i] for i in pat) for pat in _cycle_patterns(len(cycle))]
+            )
+
+    prefix = base + tuple(universal)
+    emitted = 0
+    for combo in itertools.product(*choices):
+        members = prefix
+        for part in combo:
+            members += part
+        emit(members)
+        emitted += 1
+    counters.et_cliques += emitted
+
+
+def try_early_termination(S, C, X, cand, full, ctx) -> bool:
+    """Attempt to resolve branch ``(S, C, X)`` without further branching.
+
+    Returns ``True`` (and emits all the branch's maximal cliques) when:
+
+    1. the candidate set ``C`` is a t-plex for ``t = ctx.et_threshold``
+       under the candidate adjacency ``cand``;
+    2. no pair inside ``C`` is adjacent in ``full`` but not in ``cand``
+       (rank-pruned) — then ``cand`` restricted to ``C`` is the true induced
+       subgraph (vacuous when ``cand is full``); and
+    3. the exclusion set ``X`` is empty, so every constructed clique is
+       globally maximal.
+
+    Counter semantics match the paper's Table V: ``plex_branches`` (b)
+    counts branches satisfying conditions 1-2, ``plex_terminable`` (b0)
+    those also satisfying 3.
+    """
+    t = ctx.et_threshold
+    if not t or not C:
+        return False
+    size = len(C)
+    threshold = size - t
+    min_degree = size
+    if cand is full:
+        for v in C:
+            d = len(cand[v] & C)
+            if d < threshold:
+                return False
+            if d < min_degree:
+                min_degree = d
+    elif not cand_plex_ok(C, cand, full, t):
+        return False
+    else:
+        min_degree = None
+    counters = ctx.counters
+    counters.plex_branches += 1
+    if X:
+        return False
+    fire_plex(S, C, cand, ctx, min_degree)
+    return True

@@ -1,0 +1,276 @@
+"""Edge-oriented branching (Algorithms 2-4, Eqs. 2-3).
+
+One engine serves three frameworks:
+
+* ``depth = 1`` — HBBMC (Algorithm 4): edge branching at the initial branch
+  only, vertex phase below;
+* ``depth = d`` — the Table IV sweep: edge branching for the first ``d``
+  levels of the recursion tree;
+* ``depth = None`` — pure EBBMC (Algorithm 3): edge branching everywhere.
+
+Branch state and the rank invariant
+-----------------------------------
+A branch carries ``(S, C, X)`` plus the *candidate* adjacency ``cand`` over
+``C`` (pairs usable inside this branch's cliques, all ranked after the
+branch threshold) and the global graph adjacency ``adj`` (used for
+exclusion/maximality, restricted on the fly to the branch universe
+``C ∪ X``).  Branching at candidate edge ``e = (a, b)`` with rank ``r``:
+
+* new candidates — common ``cand``-neighbours ``w`` of ``a`` and ``b``
+  whose connecting edges both rank after ``r``.  This materialises Eq. 2's
+  ``E(gC) \\ {e1..ei}``: within one branch the edges processed before ``e``
+  are exactly the candidate edges ranked below ``r``, because the loop
+  follows the global rank order.
+* new exclusion — every other common graph-neighbour of ``a`` and ``b``
+  inside the universe (Eq. 2's ``gX``, needed for maximality checks);
+* new ``cand`` keeps only pairs ranked after ``r``.
+
+Each maximal clique ``M`` with ``|M \\ S| >= 2`` is enumerated in exactly
+one sub-branch: the one owned by the earliest-ranked edge of ``G[M \\ S]``.
+Cliques with ``|M \\ S| = 1`` are the Eq.-(3) singleton branches: vertices
+with no incident candidate edge, reported directly iff no universe vertex
+is graph-adjacent to them.
+
+Implementation notes: ranks are looked up through a flat integer key
+``u * n + v`` (u < v), which is markedly cheaper than tuple keys in the hot
+loops, and the *initial* branch (``S = {}``, ``C = V``) is specialised in
+:func:`run_edge_root`: one pass over all triangles assigns each triangle to
+its minimum-ranked edge, yielding every top-level candidate/exclusion set
+in O(#triangles) — the O(delta * m) preprocessing of Theorem 2's proof.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.core.early_termination import try_early_termination
+from repro.core.phases import EngineContext
+from repro.graph.adjacency import Graph
+from repro.graph.coreness import core_decomposition
+from repro.graph.truss import EdgeOrdering
+
+Adjacency = Mapping[int, set[int]] | Sequence[set[int]]
+
+
+def _candidate_view(
+    members: set[int],
+    parent_cand: Adjacency,
+    adj: Sequence[set[int]],
+    rank: dict[int, int],
+    n: int,
+    threshold: int,
+) -> dict[int, set[int]] | None:
+    """Candidate adjacency over ``members`` or ``None`` when nothing is pruned.
+
+    A pair inside ``members`` is *pruned* when it is a graph edge that either
+    was already pruned in the parent branch or ranks at or below this
+    branch's ``threshold``.  When no pair is pruned, the candidate structure
+    equals the induced subgraph ``G[members]`` and the caller can hand the
+    plain graph adjacency to the vertex phase (the fast "same-view" mode);
+    otherwise the restricted dict is materialised.
+    """
+    if len(members) < 2:
+        return None
+    pruned = False
+    for w in members:
+        pc = parent_cand[w]
+        wn = w * n
+        for z in adj[w] & members:
+            if z not in pc or rank[wn + z if w < z else z * n + w] <= threshold:
+                pruned = True
+                break
+        if pruned:
+            break
+    if not pruned:
+        return None
+    out: dict[int, set[int]] = {}
+    for w in members:
+        kept = set()
+        wn = w * n
+        for z in parent_cand[w] & members:
+            if rank[wn + z if w < z else z * n + w] > threshold:
+                kept.add(z)
+        out[w] = kept
+    return out
+
+
+def edge_phase(
+    S: list[int],
+    C: set[int],
+    X: set[int],
+    cand: Adjacency,
+    adj: Sequence[set[int]],
+    rank: dict[int, int],
+    n: int,
+    threshold: int,
+    depth: int | None,
+    ctx: EngineContext,
+) -> None:
+    """One edge-oriented branch; recurses per candidate edge, then singletons.
+
+    ``threshold`` is the rank of the defining edge of this branch; every
+    candidate pair in ``cand`` already ranks above it.  ``depth`` counts
+    remaining edge levels (``None`` = unbounded).  ``rank`` maps the flat
+    key ``u * n + v`` (u < v) to the edge's position in the global order.
+    """
+    counters = ctx.counters
+    counters.edge_calls += 1
+    if not C:
+        if not X:
+            ctx.sink(tuple(S))
+        return
+    if ctx.et_threshold and try_early_termination(S, C, X, cand, adj, ctx):
+        return
+
+    # Candidate edges of this branch, processed in global rank order.
+    edges: list[tuple[int, int, int]] = []
+    for u in C:
+        un = u * n
+        for v in cand[u]:
+            if u < v:
+                edges.append((rank[un + v], u, v))
+    edges.sort()
+
+    universe = C | X
+    descend_edges = depth is None or depth > 1
+    next_depth = None if depth is None else depth - 1
+    vertex_phase = ctx.phase
+
+    for edge_rank, a, b in edges:
+        new_c: set[int] = set()
+        for w in cand[a] & cand[b]:
+            wn = w * n
+            if rank[a * n + w if a < w else wn + a] > edge_rank:
+                if rank[b * n + w if b < w else wn + b] > edge_rank:
+                    new_c.add(w)
+        new_x = (adj[a] & adj[b] & universe) - new_c
+        new_x.discard(a)
+        new_x.discard(b)
+        view = _candidate_view(new_c, cand, adj, rank, n, edge_rank)
+
+        S.append(a)
+        S.append(b)
+        if descend_edges:
+            new_cand = (
+                view if view is not None
+                else {w: adj[w] & new_c for w in new_c}
+            )
+            edge_phase(S, new_c, new_x, new_cand, adj, rank, n,
+                       edge_rank, next_depth, ctx)
+        elif view is None:
+            vertex_phase(S, new_c, new_x, adj, adj, ctx)
+        else:
+            vertex_phase(S, new_c, new_x, view, adj, ctx)
+        S.pop()
+        S.pop()
+
+    # Eq. (3): vertices isolated in the candidate structure can only form
+    # the clique S + {v}; it is maximal iff no universe vertex is
+    # graph-adjacent to v.
+    for v in sorted(C):
+        if cand[v]:
+            continue
+        counters.singleton_branches += 1
+        if not (adj[v] & universe):
+            S.append(v)
+            ctx.sink(tuple(S))
+            S.pop()
+
+
+def run_edge_root(
+    g: Graph,
+    ordering: EdgeOrdering,
+    depth: int | None,
+    ctx: EngineContext,
+) -> None:
+    """The initial branch (S = {}, C = V): specialised triangle-pass version.
+
+    Semantically identical to calling :func:`edge_phase` on the whole graph
+    with ``threshold = -1``; the candidate/exclusion set of every top-level
+    edge branch is assembled in a single oriented pass over the triangles:
+    a triangle belongs to its minimum-ranked edge (opposite vertex becomes
+    a *candidate* there) and contributes *exclusion* vertices to its other
+    two edges.
+    """
+    counters = ctx.counters
+    counters.edge_calls += 1
+    adj = g.adj
+    n = g.n
+    rank: dict[int, int] = {
+        u * n + v: r for r, (u, v) in enumerate(ordering.order)
+    }
+    if ctx.et_threshold and try_early_termination(
+        [], set(g.vertices()), set(), adj, adj, ctx
+    ):
+        return
+
+    edge_count = len(ordering.order)
+    cand_of: list[list[int]] = [[] for _ in range(edge_count)]
+    excl_of: list[list[int]] = [[] for _ in range(edge_count)]
+
+    position = core_decomposition(g).position
+    forward = [
+        {w for w in adj[v] if position[w] > position[v]} for v in g.vertices()
+    ]
+    for u in g.vertices():
+        fu = forward[u]
+        un = u * n
+        for v in fu:
+            vn = v * n
+            r_uv = rank[un + v if u < v else vn + u]
+            for w in fu & forward[v]:
+                wn = w * n
+                r_uw = rank[un + w if u < w else wn + u]
+                r_vw = rank[vn + w if v < w else wn + v]
+                # The triangle's minimum-ranked edge gains a candidate
+                # (its opposite vertex); the other two edges gain the
+                # opposite vertex as an exclusion vertex.
+                if r_uv < r_uw:
+                    if r_uv < r_vw:
+                        cand_of[r_uv].append(w)
+                        excl_of[r_uw].append(v)
+                        excl_of[r_vw].append(u)
+                    else:
+                        cand_of[r_vw].append(u)
+                        excl_of[r_uv].append(w)
+                        excl_of[r_uw].append(v)
+                elif r_uw < r_vw:
+                    cand_of[r_uw].append(v)
+                    excl_of[r_uv].append(w)
+                    excl_of[r_vw].append(u)
+                else:
+                    cand_of[r_vw].append(u)
+                    excl_of[r_uv].append(w)
+                    excl_of[r_uw].append(v)
+
+    descend_edges = depth is None or depth > 1
+    next_depth = None if depth is None else depth - 1
+    vertex_phase = ctx.phase
+
+    S: list[int] = []
+    for edge_rank, (a, b) in enumerate(ordering.order):
+        new_c = set(cand_of[edge_rank])
+        new_x = set(excl_of[edge_rank])
+        view = _candidate_view(new_c, adj, adj, rank, n, edge_rank)
+        S.append(a)
+        S.append(b)
+        if descend_edges:
+            new_cand = (
+                view if view is not None
+                else {w: adj[w] & new_c for w in new_c}
+            )
+            edge_phase(S, new_c, new_x, new_cand, adj, rank, n,
+                       edge_rank, next_depth, ctx)
+        elif view is None:
+            vertex_phase(S, new_c, new_x, adj, adj, ctx)
+        else:
+            vertex_phase(S, new_c, new_x, view, adj, ctx)
+        S.pop()
+        S.pop()
+
+    # Eq. (3) at the root: vertices with no incident edge at all.
+    for v in g.vertices():
+        if adj[v]:
+            continue
+        counters.singleton_branches += 1
+        ctx.sink((v,))

@@ -1,0 +1,151 @@
+"""Framework entry points: VBBMC, EBBMC and HBBMC (Algorithms 1, 3, 4).
+
+These functions wire together the pieces — graph reduction, edge ordering,
+the edge-oriented engine and a vertex-phase strategy — into the complete
+enumeration frameworks the paper evaluates.  Both stream maximal cliques to
+a caller-provided sink and return the run's :class:`Counters`.
+"""
+
+from __future__ import annotations
+
+from repro.core.counters import Counters
+from repro.core.edge_engine import run_edge_root
+from repro.core.phases import make_context
+from repro.core.reduction import reduce_graph
+from repro.core.result import CliqueSink, suppressing_sink
+from repro.exceptions import InvalidParameterError
+from repro.graph.adjacency import Graph
+from repro.graph.orderings import edge_ordering, vertex_ordering
+
+
+def _counting(sink: CliqueSink, counters: Counters) -> CliqueSink:
+    def wrapped(clique: tuple[int, ...]) -> None:
+        counters.emitted += 1
+        sink(clique)
+
+    return wrapped
+
+
+def _apply_reduction(
+    g: Graph,
+    counted_sink: CliqueSink,
+    counters: Counters,
+    enabled: bool,
+) -> tuple[Graph, CliqueSink]:
+    """Optionally reduce ``g``; emit peeled cliques; wrap sink with filter."""
+    if not enabled:
+        return g, counted_sink
+    reduction = reduce_graph(g)
+    counters.reduction_removed = len(reduction.removed)
+    counters.reduction_emitted = len(reduction.emitted)
+    for clique in reduction.emitted:
+        counted_sink(clique)
+
+    def on_suppress() -> None:
+        counters.suppressed_candidates += 1
+
+    filtered = suppressing_sink(counted_sink, reduction.suppressed, on_suppress)
+    return reduction.graph, filtered
+
+
+def run_hybrid(
+    g: Graph,
+    sink: CliqueSink,
+    *,
+    et_threshold: int = 3,
+    graph_reduction: bool = True,
+    edge_depth: int | None = 1,
+    edge_order_kind: str = "truss",
+    vertex_strategy: str = "tomita",
+    counters: Counters | None = None,
+) -> Counters:
+    """HBBMC / EBBMC: edge-oriented branching at the top of the tree.
+
+    Args:
+        g: input graph.
+        sink: receives each maximal clique as a tuple of vertex ids.
+        et_threshold: t for early termination (0 disables, max 3).
+        graph_reduction: peel low-degree vertices first (GR).
+        edge_depth: number of edge-branching levels (1 = HBBMC,
+            ``None`` = pure EBBMC, 2/3 = the Table IV variants).
+        edge_order_kind: "truss" (default), "degen-lex" or "min-degree".
+        vertex_strategy: phase used below the edge levels — "tomita",
+            "ref", "rcd", "fac" or "none".
+        counters: accumulate into an existing instance when given.
+
+    Returns:
+        The run's :class:`Counters`.
+    """
+    if edge_depth is not None and edge_depth < 1:
+        raise InvalidParameterError(
+            f"edge_depth must be >= 1 or None, got {edge_depth}"
+        )
+    counters = counters if counters is not None else Counters()
+    counted = _counting(sink, counters)
+    work, inner_sink = _apply_reduction(g, counted, counters, graph_reduction)
+    if work.n == 0:
+        return counters  # the empty graph has no maximal cliques
+
+    ordering = edge_ordering(work, edge_order_kind)
+    ctx = make_context(
+        inner_sink,
+        counters,
+        et_threshold=et_threshold,
+        vertex_strategy=vertex_strategy,
+    )
+    run_edge_root(work, ordering, edge_depth, ctx)
+    return counters
+
+
+def run_vertex(
+    g: Graph,
+    sink: CliqueSink,
+    *,
+    ordering_kind: str | None = "degeneracy",
+    vertex_strategy: str = "tomita",
+    et_threshold: int = 0,
+    graph_reduction: bool = False,
+    counters: Counters | None = None,
+) -> Counters:
+    """VBBMC: vertex-oriented branching from the initial branch.
+
+    Args:
+        g: input graph.
+        sink: receives each maximal clique as a tuple of vertex ids.
+        ordering_kind: initial-branch vertex ordering — "degeneracy"
+            (BK_Degen), "degree" (BK_Degree) or ``None`` to run the
+            recursion on the whole graph at once (BK / BK_Pivot / BK_Rcd).
+        vertex_strategy: "tomita", "ref", "rcd", "fac" or "none".
+        et_threshold: t for early termination (0 disables, max 3).
+        graph_reduction: peel low-degree vertices first (GR).
+        counters: accumulate into an existing instance when given.
+
+    Returns:
+        The run's :class:`Counters`.
+    """
+    counters = counters if counters is not None else Counters()
+    counted = _counting(sink, counters)
+    work, inner_sink = _apply_reduction(g, counted, counters, graph_reduction)
+    if work.n == 0:
+        return counters  # the empty graph has no maximal cliques
+
+    ctx = make_context(
+        inner_sink,
+        counters,
+        et_threshold=et_threshold,
+        vertex_strategy=vertex_strategy,
+    )
+    adj = work.adj
+    if ordering_kind is None:
+        ctx.phase([], set(work.vertices()), set(), adj, adj, ctx)
+        return counters
+
+    order = vertex_ordering(work, ordering_kind)
+    position = [0] * work.n
+    for i, v in enumerate(order):
+        position[v] = i
+    for v in order:
+        later = {w for w in adj[v] if position[w] > position[v]}
+        earlier = adj[v] - later
+        ctx.phase([v], later, earlier, adj, adj, ctx)
+    return counters

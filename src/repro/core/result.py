@@ -1,0 +1,100 @@
+"""Clique sinks: where the engines deliver results.
+
+Engines stream every maximal clique to a *sink* — any callable accepting a
+tuple of vertex ids.  This keeps enumeration memory-proportional to the
+answer only when the caller wants it to be (counting needs O(1) space).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+CliqueSink = Callable[[tuple[int, ...]], None]
+
+
+class CliqueCollector:
+    """Accumulates every clique into a list (the default sink)."""
+
+    def __init__(self) -> None:
+        self.cliques: list[tuple[int, ...]] = []
+
+    def __call__(self, clique: tuple[int, ...]) -> None:
+        self.cliques.append(clique)
+
+    def __len__(self) -> int:
+        return len(self.cliques)
+
+    def sorted_cliques(self) -> list[tuple[int, ...]]:
+        """Canonical form: each clique sorted, list sorted (for comparisons)."""
+        return sorted(tuple(sorted(c)) for c in self.cliques)
+
+
+class CliqueCounter:
+    """Counts cliques and tracks size statistics without storing them."""
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total_vertices = 0
+        self.max_size = 0
+
+    def __call__(self, clique: tuple[int, ...]) -> None:
+        self.count += 1
+        size = len(clique)
+        self.total_vertices += size
+        if size > self.max_size:
+            self.max_size = size
+
+    @property
+    def average_size(self) -> float:
+        return self.total_vertices / self.count if self.count else 0.0
+
+
+class SizeHistogram:
+    """Histogram of clique sizes (used by the example applications)."""
+
+    def __init__(self) -> None:
+        self.histogram: dict[int, int] = {}
+
+    def __call__(self, clique: tuple[int, ...]) -> None:
+        size = len(clique)
+        self.histogram[size] = self.histogram.get(size, 0) + 1
+
+
+def suppressing_sink(
+    sink: CliqueSink,
+    suppressed: set[frozenset[int]],
+    on_suppress: Callable[[], None] | None = None,
+) -> CliqueSink:
+    """Wrap ``sink`` to drop cliques in ``suppressed``.
+
+    Graph reduction peels vertices whose cliques it reports directly; a few
+    vertex sets then look maximal in the reduced graph without being maximal
+    in the original.  Those sets are recorded in ``suppressed`` and filtered
+    here (see :mod:`repro.core.reduction`).
+    """
+    if not suppressed:
+        return sink
+
+    def filtered(clique: tuple[int, ...]) -> None:
+        if frozenset(clique) in suppressed:
+            if on_suppress is not None:
+                on_suppress()
+            return
+        sink(clique)
+
+    return filtered
+
+
+def tee_sink(*sinks: CliqueSink) -> CliqueSink:
+    """A sink that forwards every clique to all the given sinks."""
+
+    def fanout(clique: tuple[int, ...]) -> None:
+        for sink in sinks:
+            sink(clique)
+
+    return fanout
+
+
+def materialize(cliques: Iterable[tuple[int, ...]]) -> list[tuple[int, ...]]:
+    """Sort cliques canonically (each ascending, then lexicographically)."""
+    return sorted(tuple(sorted(c)) for c in cliques)

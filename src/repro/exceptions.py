@@ -1,0 +1,32 @@
+"""Exception hierarchy for the :mod:`repro` library.
+
+All library-raised errors derive from :class:`ReproError`, so callers can
+catch one type to handle any failure originating here while still letting
+programming errors (``TypeError`` etc.) propagate untouched.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphFormatError(ReproError):
+    """Raised when a graph file or edge stream cannot be parsed."""
+
+
+class InvalidVertexError(ReproError, KeyError):
+    """Raised when an operation references a vertex that is not in the graph."""
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """Raised when an algorithm or generator receives an invalid parameter."""
+
+
+class UnknownAlgorithmError(ReproError, KeyError):
+    """Raised when an algorithm name is not present in the registry."""
+
+
+class NotAPlexError(ReproError):
+    """Raised when a t-plex-only routine receives a graph that is not one."""

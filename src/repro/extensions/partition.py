@@ -1,0 +1,102 @@
+"""Static work partition of HBBMC — the parallel-MCE decomposition.
+
+The correctness argument behind HBBMC's initial branch is a *partition*:
+every maximal clique with at least two vertices belongs to exactly one
+top-level edge branch (the one owned by the earliest-ranked edge of the
+clique), and every singleton clique to exactly one isolated vertex.  That
+makes MCE embarrassingly parallel: distribute the top-level branches to
+workers, no deduplication needed.
+
+:func:`partition_work` splits the edge ordering into contiguous chunks and
+:func:`enumerate_chunk` enumerates one chunk independently — run them in a
+process pool, or sequentially (as the tests do) to verify the disjoint
+cover property.  Chunks share nothing but the immutable graph and ordering.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.counters import Counters
+from repro.core.edge_engine import _candidate_view, edge_phase
+from repro.core.phases import make_context
+from repro.core.result import CliqueSink
+from repro.exceptions import InvalidParameterError
+from repro.graph.adjacency import Graph
+from repro.graph.truss import EdgeOrdering, truss_edge_ordering
+
+
+@dataclass(frozen=True)
+class WorkChunk:
+    """A contiguous range of top-level edge branches plus singleton duty."""
+
+    chunk_id: int
+    first_rank: int
+    last_rank: int  # exclusive
+    handle_singletons: bool
+
+
+def partition_work(g: Graph, chunks: int) -> tuple[EdgeOrdering, list[WorkChunk]]:
+    """Split the initial branch into ``chunks`` independent work units."""
+    if chunks < 1:
+        raise InvalidParameterError(f"chunks must be >= 1, got {chunks}")
+    ordering = truss_edge_ordering(g)
+    m = len(ordering.order)
+    bounds = [round(i * m / chunks) for i in range(chunks + 1)]
+    work = [
+        WorkChunk(
+            chunk_id=i,
+            first_rank=bounds[i],
+            last_rank=bounds[i + 1],
+            handle_singletons=(i == 0),
+        )
+        for i in range(chunks)
+    ]
+    return ordering, work
+
+
+def enumerate_chunk(
+    g: Graph,
+    ordering: EdgeOrdering,
+    chunk: WorkChunk,
+    sink: CliqueSink,
+    *,
+    et_threshold: int = 3,
+    vertex_strategy: str = "tomita",
+    counters: Counters | None = None,
+) -> Counters:
+    """Enumerate exactly the maximal cliques owned by ``chunk``.
+
+    The union of all chunks' outputs over a partition equals the full
+    enumeration, with every clique produced exactly once across chunks.
+    """
+    counters = counters if counters is not None else Counters()
+    ctx = make_context(sink, counters, et_threshold=et_threshold,
+                       vertex_strategy=vertex_strategy)
+    adj = g.adj
+    n = g.n
+    rank = {u * n + v: r for r, (u, v) in enumerate(ordering.order)}
+
+    for edge_rank in range(chunk.first_rank, chunk.last_rank):
+        a, b = ordering.order[edge_rank]
+        candidates = set()
+        exclusion = set()
+        for w in adj[a] & adj[b]:
+            ka = a * n + w if a < w else w * n + a
+            kb = b * n + w if b < w else w * n + b
+            if rank[ka] > edge_rank and rank[kb] > edge_rank:
+                candidates.add(w)
+            else:
+                exclusion.add(w)
+        view = _candidate_view(candidates, adj, adj, rank, n, edge_rank)
+        S = [a, b]
+        if view is None:
+            ctx.phase(S, candidates, exclusion, adj, adj, ctx)
+        else:
+            ctx.phase(S, candidates, exclusion, view, adj, ctx)
+
+    if chunk.handle_singletons:
+        for v in g.vertices():
+            if not adj[v]:
+                sink((v,))
+    return counters

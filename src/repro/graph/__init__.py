@@ -1,0 +1,98 @@
+"""Graph substrate: representation, orderings, truss, metrics, generators."""
+
+from repro.graph.adjacency import Edge, Graph, canonical_edge
+from repro.graph.builders import (
+    LabeledGraph,
+    complete_graph,
+    cycle_graph,
+    disjoint_union,
+    from_adjacency,
+    from_edge_list,
+    from_int_edges,
+    from_networkx,
+    path_graph,
+    star_graph,
+    to_networkx,
+)
+from repro.graph.coreness import (
+    CoreDecomposition,
+    core_decomposition,
+    degeneracy,
+    degeneracy_ordering,
+    k_core,
+)
+from repro.graph.metrics import GraphStats, edge_density, graph_stats, h_index
+from repro.graph.orderings import (
+    EDGE_ORDERINGS,
+    VERTEX_ORDERINGS,
+    degen_lex_edge_ordering,
+    degree_ordering,
+    edge_ordering,
+    min_degree_edge_ordering,
+    vertex_ordering,
+)
+from repro.graph.plex import (
+    ComplementStructure,
+    complement_adjacency,
+    decompose_complement,
+    is_t_plex,
+    plex_level,
+)
+from repro.graph.triangles import (
+    edge_support,
+    iter_triangles,
+    local_triangle_counts,
+    triangle_count,
+)
+from repro.graph.truss import (
+    EdgeOrdering,
+    candidate_size_bound,
+    truss_edge_ordering,
+    truss_number,
+)
+
+__all__ = [
+    "EDGE_ORDERINGS",
+    "VERTEX_ORDERINGS",
+    "ComplementStructure",
+    "CoreDecomposition",
+    "Edge",
+    "EdgeOrdering",
+    "Graph",
+    "GraphStats",
+    "LabeledGraph",
+    "candidate_size_bound",
+    "canonical_edge",
+    "complement_adjacency",
+    "complete_graph",
+    "core_decomposition",
+    "cycle_graph",
+    "decompose_complement",
+    "degen_lex_edge_ordering",
+    "degeneracy",
+    "degeneracy_ordering",
+    "degree_ordering",
+    "disjoint_union",
+    "edge_density",
+    "edge_ordering",
+    "edge_support",
+    "from_adjacency",
+    "from_edge_list",
+    "from_int_edges",
+    "from_networkx",
+    "graph_stats",
+    "h_index",
+    "is_t_plex",
+    "iter_triangles",
+    "k_core",
+    "local_triangle_counts",
+    "min_degree_edge_ordering",
+    "path_graph",
+    "plex_level",
+    "star_graph",
+    "to_networkx",
+    "triangle_count",
+    "truss_edge_ordering",
+    "truss_number",
+    "vertex_ordering",
+]

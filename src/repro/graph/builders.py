@@ -1,0 +1,190 @@
+"""Constructors that turn edge data with arbitrary labels into :class:`Graph`.
+
+Real-world edge lists are messy: directions, duplicate edges, self-loops and
+non-contiguous ids.  Following the paper's experimental setup ("we follow
+existing studies by ignoring directions, weights, and self-loops"), these
+builders sanitise the input and relabel vertices to ``0 .. n-1``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Hashable, Iterable, Mapping, Sequence
+
+from repro.exceptions import InvalidParameterError
+from repro.graph.adjacency import Graph
+
+
+@dataclass
+class LabeledGraph:
+    """A :class:`Graph` together with the original vertex labels.
+
+    ``labels[i]`` is the external label of internal vertex ``i`` and
+    ``index`` maps labels back to internal ids.
+    """
+
+    graph: Graph
+    labels: list[Hashable]
+    index: dict[Hashable, int] = field(init=False)
+
+    def __post_init__(self) -> None:
+        self.index = {label: i for i, label in enumerate(self.labels)}
+
+    def relabel_clique(self, clique: Iterable[int]) -> list[Hashable]:
+        """Translate a clique of internal ids back to original labels."""
+        return [self.labels[v] for v in clique]
+
+
+def from_edge_list(
+    edges: Iterable[tuple[Hashable, Hashable]],
+    *,
+    num_vertices: int | None = None,
+) -> LabeledGraph:
+    """Build a graph from an iterable of (u, v) pairs with arbitrary labels.
+
+    Self-loops and duplicate/reversed edges are silently dropped — they carry
+    no information for MCE on simple undirected graphs.  ``num_vertices``
+    forces extra isolated vertices when labels are ``int`` and the caller
+    knows the intended vertex count (e.g. file headers).
+    """
+    labels: list[Hashable] = []
+    index: dict[Hashable, int] = {}
+    pairs: list[tuple[int, int]] = []
+    for u, v in edges:
+        if u == v:
+            continue
+        iu = index.get(u)
+        if iu is None:
+            iu = index[u] = len(labels)
+            labels.append(u)
+        iv = index.get(v)
+        if iv is None:
+            iv = index[v] = len(labels)
+            labels.append(v)
+        pairs.append((iu, iv))
+
+    if num_vertices is not None:
+        if num_vertices < len(labels):
+            raise InvalidParameterError(
+                f"num_vertices={num_vertices} smaller than distinct labels "
+                f"({len(labels)})"
+            )
+        next_fill = 0
+        while len(labels) < num_vertices:
+            while next_fill in index:
+                next_fill += 1
+            index[next_fill] = len(labels)
+            labels.append(next_fill)
+
+    g = Graph(len(labels))
+    for iu, iv in pairs:
+        g.add_edge(iu, iv)
+    return LabeledGraph(g, labels)
+
+
+def from_int_edges(
+    edges: Iterable[tuple[int, int]],
+    *,
+    num_vertices: int | None = None,
+) -> Graph:
+    """Build a graph from integer pairs, keeping the ids as-is.
+
+    Vertices are ``0 .. max_id`` (or ``num_vertices``).  Ideal when the edge
+    list is already contiguous, e.g. output of our generators.
+    """
+    pairs = [(u, v) for u, v in edges if u != v]
+    max_id = max((max(u, v) for u, v in pairs), default=-1)
+    n = max_id + 1 if num_vertices is None else num_vertices
+    if n < max_id + 1:
+        raise InvalidParameterError(
+            f"num_vertices={n} but edges reference vertex {max_id}"
+        )
+    g = Graph(n)
+    for u, v in pairs:
+        g.add_edge(u, v)
+    return g
+
+
+def from_adjacency(adjacency: Mapping[int, Iterable[int]] | Sequence[Iterable[int]]) -> Graph:
+    """Build a graph from an adjacency mapping (dict or list of neighbour sets)."""
+    if isinstance(adjacency, Mapping):
+        items = adjacency.items()
+        n = max(adjacency.keys(), default=-1) + 1
+    else:
+        items = enumerate(adjacency)
+        n = len(adjacency)
+    g = Graph(n)
+    for u, nbrs in items:
+        for v in nbrs:
+            if u < v:
+                g.add_edge(u, v)
+            elif v < u and u not in g.adj[v]:
+                g.add_edge(v, u)
+    return g
+
+
+def complete_graph(n: int) -> Graph:
+    """The clique :math:`K_n`."""
+    g = Graph(n)
+    for u in range(n):
+        for v in range(u + 1, n):
+            g.add_edge(u, v)
+    return g
+
+
+def path_graph(n: int) -> Graph:
+    """The simple path :math:`P_n` on ``n`` vertices."""
+    g = Graph(n)
+    for u in range(n - 1):
+        g.add_edge(u, u + 1)
+    return g
+
+
+def cycle_graph(n: int) -> Graph:
+    """The simple cycle :math:`C_n`; requires ``n >= 3``."""
+    if n < 3:
+        raise InvalidParameterError(f"a cycle needs >= 3 vertices, got {n}")
+    g = path_graph(n)
+    g.add_edge(n - 1, 0)
+    return g
+
+
+def star_graph(n_leaves: int) -> Graph:
+    """A star: vertex 0 joined to ``n_leaves`` leaves."""
+    g = Graph(n_leaves + 1)
+    for v in range(1, n_leaves + 1):
+        g.add_edge(0, v)
+    return g
+
+
+def disjoint_union(*graphs: Graph) -> Graph:
+    """The disjoint union of the given graphs, ids shifted left-to-right."""
+    total = sum(g.n for g in graphs)
+    out = Graph(total)
+    offset = 0
+    for g in graphs:
+        for u, v in g.edges():
+            out.add_edge(u + offset, v + offset)
+        offset += g.n
+    return out
+
+
+def to_networkx(g: Graph):  # pragma: no cover - convenience for users with nx
+    """Convert to a ``networkx.Graph`` (requires networkx installed)."""
+    import networkx as nx
+
+    out = nx.Graph()
+    out.add_nodes_from(g.vertices())
+    out.add_edges_from(g.edges())
+    return out
+
+
+def from_networkx(nxg) -> LabeledGraph:
+    """Convert from a ``networkx.Graph`` (nodes may be any hashables)."""
+    labels = list(nxg.nodes())
+    index = {label: i for i, label in enumerate(labels)}
+    g = Graph(len(labels))
+    for u, v in nxg.edges():
+        if u != v:
+            g.add_edge(index[u], index[v])
+    return LabeledGraph(g, labels)

@@ -1,0 +1,59 @@
+"""Random and structured graph generators (all written from scratch)."""
+
+from repro.graph.generators.barabasi_albert import (
+    barabasi_albert,
+    barabasi_albert_with_density,
+    holme_kim,
+)
+from repro.graph.generators.dataset_suite import (
+    DATASET_NAMES,
+    PAPER_STATS,
+    load_dataset,
+    paper_stats,
+)
+from repro.graph.generators.erdos_renyi import (
+    erdos_renyi_gnm,
+    erdos_renyi_gnp,
+    erdos_renyi_with_density,
+)
+from repro.graph.generators.social import (
+    mesh_graph,
+    overlapping_communities,
+    social_graph,
+    web_graph,
+)
+from repro.graph.generators.structured import (
+    complete_multipartite,
+    grid_2d,
+    moon_moser,
+    planted_cliques,
+    random_2_plex,
+    random_3_plex,
+    relaxed_caveman,
+    ring_of_cliques,
+)
+
+__all__ = [
+    "DATASET_NAMES",
+    "PAPER_STATS",
+    "barabasi_albert",
+    "barabasi_albert_with_density",
+    "complete_multipartite",
+    "erdos_renyi_gnm",
+    "erdos_renyi_gnp",
+    "erdos_renyi_with_density",
+    "grid_2d",
+    "holme_kim",
+    "load_dataset",
+    "mesh_graph",
+    "moon_moser",
+    "overlapping_communities",
+    "paper_stats",
+    "planted_cliques",
+    "random_2_plex",
+    "random_3_plex",
+    "relaxed_caveman",
+    "ring_of_cliques",
+    "social_graph",
+    "web_graph",
+]

@@ -1,0 +1,95 @@
+"""Erdős–Rényi random graphs, written from scratch (paper's Appendix D).
+
+Both the G(n, m) variant (exactly m edges, the one the paper's synthetic
+experiments use — "randomly chooses m edges between pairs of vertices") and
+the G(n, p) variant are provided.  All randomness flows through a caller-
+supplied seed so every experiment in this repository is reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.exceptions import InvalidParameterError
+from repro.graph.adjacency import Graph
+
+
+def _max_edges(n: int) -> int:
+    return n * (n - 1) // 2
+
+
+def erdos_renyi_gnm(n: int, m: int, seed: int | None = None) -> Graph:
+    """G(n, m): ``m`` distinct edges chosen uniformly at random.
+
+    Uses rejection sampling while the graph is sparse and switches to
+    sampling from the full pair population when ``m`` is a large fraction
+    of ``n*(n-1)/2`` (rejection would thrash there).
+    """
+    if n < 0:
+        raise InvalidParameterError(f"n must be >= 0, got {n}")
+    if not 0 <= m <= _max_edges(n):
+        raise InvalidParameterError(
+            f"m={m} outside [0, {_max_edges(n)}] for n={n}"
+        )
+    rng = random.Random(seed)
+    g = Graph(n)
+    if m == 0:
+        return g
+
+    if m > _max_edges(n) // 3:
+        population = [(u, v) for u in range(n) for v in range(u + 1, n)]
+        for u, v in rng.sample(population, m):
+            g.add_edge(u, v)
+        return g
+
+    added = 0
+    while added < m:
+        u = rng.randrange(n)
+        v = rng.randrange(n)
+        if u != v and g.add_edge(u, v):
+            added += 1
+    return g
+
+
+def erdos_renyi_gnp(n: int, p: float, seed: int | None = None) -> Graph:
+    """G(n, p): every pair is an edge independently with probability p.
+
+    Uses the geometric skipping trick so the cost is O(n + m) rather than
+    O(n^2) for sparse graphs.
+    """
+    if n < 0:
+        raise InvalidParameterError(f"n must be >= 0, got {n}")
+    if not 0.0 <= p <= 1.0:
+        raise InvalidParameterError(f"p must be in [0, 1], got {p}")
+    rng = random.Random(seed)
+    g = Graph(n)
+    if p == 0.0 or n < 2:
+        return g
+    if p == 1.0:
+        for u in range(n):
+            for v in range(u + 1, n):
+                g.add_edge(u, v)
+        return g
+
+    # Iterate pairs (u, v) with v > u in row-major order, skipping ahead by
+    # geometric jumps between successes.
+    import math
+
+    log_q = math.log(1.0 - p)
+    u, v = 0, 0
+    while u < n - 1:
+        r = rng.random()
+        skip = int(math.log(max(r, 1e-300)) / log_q)
+        v += 1 + skip
+        while v >= n and u < n - 1:
+            v = v - n + u + 2
+            u += 1
+        if u < n - 1 and u < v < n:
+            g.add_edge(u, v)
+    return g
+
+
+def erdos_renyi_with_density(n: int, rho: float, seed: int | None = None) -> Graph:
+    """ER graph with the paper's density parameter rho = m / n."""
+    m = min(int(round(rho * n)), _max_edges(n))
+    return erdos_renyi_gnm(n, m, seed)

@@ -1,0 +1,208 @@
+"""Structured graphs with known maximal-clique populations.
+
+These back the test suite (exact expected outputs) and the early-termination
+modules (random t-plexes).  Highlights:
+
+* :func:`moon_moser` — the complete multipartite graph K_{3,3,...,3} whose
+  3^(n/3) maximal cliques realise the Bron–Kerbosch worst case (the paper's
+  reference [22]);
+* :func:`random_t_plex` — dense graphs whose complement is a matching /
+  paths+cycles, the exact inputs Algorithms 5–8 consume;
+* meshes and caveman graphs used by the dataset proxy suite.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.exceptions import InvalidParameterError
+from repro.graph.adjacency import Graph
+from repro.graph.builders import complete_graph
+
+
+def moon_moser(groups: int) -> Graph:
+    """Complete multipartite K_{3,...,3} with ``groups`` parts.
+
+    Has exactly ``3 ** groups`` maximal cliques (pick one vertex per part),
+    the Moon–Moser extremal bound.
+    """
+    if groups < 1:
+        raise InvalidParameterError(f"groups must be >= 1, got {groups}")
+    n = 3 * groups
+    g = Graph(n)
+    for u in range(n):
+        for v in range(u + 1, n):
+            if u // 3 != v // 3:
+                g.add_edge(u, v)
+    return g
+
+
+def complete_multipartite(part_sizes: list[int]) -> Graph:
+    """Complete multipartite graph with the given part sizes."""
+    if any(s < 1 for s in part_sizes):
+        raise InvalidParameterError("part sizes must be >= 1")
+    n = sum(part_sizes)
+    part_of = []
+    for i, size in enumerate(part_sizes):
+        part_of.extend([i] * size)
+    g = Graph(n)
+    for u in range(n):
+        for v in range(u + 1, n):
+            if part_of[u] != part_of[v]:
+                g.add_edge(u, v)
+    return g
+
+
+def random_2_plex(n: int, seed: int | None = None) -> Graph:
+    """A 2-plex on ``n`` vertices: complete graph minus a random matching.
+
+    Every vertex misses at most one neighbour, which is the paper's
+    Algorithm 5 input class.
+    """
+    if n < 1:
+        raise InvalidParameterError(f"n must be >= 1, got {n}")
+    rng = random.Random(seed)
+    g = complete_graph(n)
+    vertices = list(range(n))
+    rng.shuffle(vertices)
+    # Pair up a random prefix of the shuffle into matched (removed) pairs.
+    pairs = rng.randrange(n // 2 + 1)
+    for i in range(pairs):
+        g.remove_edge(vertices[2 * i], vertices[2 * i + 1])
+    return g
+
+
+def random_3_plex(n: int, seed: int | None = None) -> Graph:
+    """A 3-plex on ``n`` vertices.
+
+    Built by removing from K_n a random disjoint union of paths and cycles
+    (max complement degree 2), matching Algorithm 8's input class.
+    """
+    if n < 1:
+        raise InvalidParameterError(f"n must be >= 1, got {n}")
+    rng = random.Random(seed)
+    g = complete_graph(n)
+    vertices = list(range(n))
+    rng.shuffle(vertices)
+    i = 0
+    while i < n:
+        remaining = n - i
+        choice = rng.random()
+        if remaining >= 3 and choice < 0.3:
+            # Remove a complement cycle on 3..min(6, remaining) vertices.
+            size = rng.randrange(3, min(6, remaining) + 1)
+            cycle = vertices[i:i + size]
+            for j in range(size):
+                g.remove_edge(cycle[j], cycle[(j + 1) % size])
+            i += size
+        elif remaining >= 2 and choice < 0.7:
+            # Remove a complement path on 2..min(5, remaining) vertices.
+            size = rng.randrange(2, min(5, remaining) + 1)
+            path = vertices[i:i + size]
+            for j in range(size - 1):
+                g.remove_edge(path[j], path[j + 1])
+            i += size
+        else:
+            i += 1  # leave an isolated complement vertex (universal in g)
+    return g
+
+
+def ring_of_cliques(num_cliques: int, clique_size: int) -> Graph:
+    """``num_cliques`` cliques of ``clique_size`` joined in a ring by bridges.
+
+    A classic community-detection toy; each clique is maximal and every
+    bridge edge is a maximal 2-clique.
+    """
+    if num_cliques < 3 or clique_size < 2:
+        raise InvalidParameterError(
+            "need >= 3 cliques of size >= 2 "
+            f"(got {num_cliques}, {clique_size})"
+        )
+    n = num_cliques * clique_size
+    g = Graph(n)
+    for c in range(num_cliques):
+        base = c * clique_size
+        for i in range(clique_size):
+            for j in range(i + 1, clique_size):
+                g.add_edge(base + i, base + j)
+    for c in range(num_cliques):
+        u = c * clique_size + clique_size - 1
+        v = ((c + 1) % num_cliques) * clique_size
+        g.add_edge(u, v)
+    return g
+
+
+def relaxed_caveman(
+    num_cliques: int,
+    clique_size: int,
+    rewire_probability: float,
+    seed: int | None = None,
+) -> Graph:
+    """Connected caveman graph with random rewiring (community structure)."""
+    if not 0.0 <= rewire_probability <= 1.0:
+        raise InvalidParameterError(
+            f"rewire_probability must be in [0, 1], got {rewire_probability}"
+        )
+    rng = random.Random(seed)
+    g = ring_of_cliques(num_cliques, clique_size)
+    n = g.n
+    for u, v in list(g.edges()):
+        if rng.random() < rewire_probability:
+            w = rng.randrange(n)
+            if w != u and not g.has_edge(u, w):
+                g.remove_edge(u, v)
+                g.add_edge(u, w)
+    return g
+
+
+def grid_2d(rows: int, cols: int, *, diagonals: bool = False) -> Graph:
+    """A rows x cols grid; ``diagonals=True`` adds both diagonals per cell.
+
+    With diagonals the graph is locally clique-y, resembling the
+    finite-element meshes (nasasrb, shipsec5, dielfilter) of Table I.
+    """
+    if rows < 1 or cols < 1:
+        raise InvalidParameterError("grid needs positive dimensions")
+    g = Graph(rows * cols)
+
+    def vid(r: int, c: int) -> int:
+        return r * cols + c
+
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                g.add_edge(vid(r, c), vid(r, c + 1))
+            if r + 1 < rows:
+                g.add_edge(vid(r, c), vid(r + 1, c))
+            if diagonals and r + 1 < rows and c + 1 < cols:
+                g.add_edge(vid(r, c), vid(r + 1, c + 1))
+                g.add_edge(vid(r, c + 1), vid(r + 1, c))
+    return g
+
+
+def planted_cliques(
+    n: int,
+    num_cliques: int,
+    clique_size: int,
+    background_edges: int,
+    seed: int | None = None,
+) -> Graph:
+    """Random background plus ``num_cliques`` planted (overlapping) cliques."""
+    if clique_size > n:
+        raise InvalidParameterError("clique_size cannot exceed n")
+    rng = random.Random(seed)
+    g = Graph(n)
+    for _ in range(num_cliques):
+        members = rng.sample(range(n), clique_size)
+        for i, u in enumerate(members):
+            for v in members[i + 1:]:
+                if not g.has_edge(u, v):
+                    g.add_edge(u, v)
+    attempts = 0
+    added = 0
+    while added < background_edges and attempts < 20 * background_edges:
+        attempts += 1
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v and g.add_edge(u, v):
+            added += 1
+    return g

@@ -1,0 +1,188 @@
+"""Graph readers and writers.
+
+Supported formats:
+
+* **edge list** — one ``u v`` pair per line; ``#`` and ``%`` comments; this
+  is the network-repository format the paper's datasets ship in.
+* **DIMACS** — ``p edge n m`` header and ``e u v`` lines (1-based).
+* **METIS** — header ``n m`` then one adjacency line per vertex (1-based).
+* **JSON** — ``{"n": ..., "edges": [[u, v], ...]}`` for round-tripping.
+
+All readers sanitise input the way the paper's experiments do: directions,
+weights (trailing columns) and self-loops are ignored, duplicates collapsed.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, Iterator, TextIO
+
+from repro.exceptions import GraphFormatError
+from repro.graph.adjacency import Graph
+from repro.graph.builders import LabeledGraph, from_edge_list
+
+_COMMENT_PREFIXES = ("#", "%", "//")
+
+
+def _iter_data_lines(handle: TextIO) -> Iterator[tuple[int, str]]:
+    for lineno, raw in enumerate(handle, start=1):
+        line = raw.strip()
+        if not line or line.startswith(_COMMENT_PREFIXES):
+            continue
+        yield lineno, line
+
+
+def read_edge_list(path: str | Path) -> LabeledGraph:
+    """Read a whitespace-separated edge list (labels may be any tokens)."""
+    edges: list[tuple[str, str]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in _iter_data_lines(handle):
+            parts = line.split()
+            if len(parts) < 2:
+                raise GraphFormatError(
+                    f"{path}:{lineno}: expected at least two columns, got {line!r}"
+                )
+            edges.append((parts[0], parts[1]))
+    return from_edge_list(edges)
+
+
+def write_edge_list(g: Graph, path: str | Path, *, header: str | None = None) -> None:
+    """Write the graph as a ``u v`` edge list."""
+    with open(path, "w", encoding="utf-8") as handle:
+        if header:
+            for line in header.splitlines():
+                handle.write(f"# {line}\n")
+        handle.write(f"# n={g.n} m={g.m}\n")
+        for u, v in g.edges():
+            handle.write(f"{u} {v}\n")
+
+
+def read_dimacs(path: str | Path) -> Graph:
+    """Read a DIMACS ``.col``-style file (``p edge n m`` / ``e u v``)."""
+    n = None
+    edges: list[tuple[int, int]] = []
+    with open(path, "r", encoding="utf-8") as handle:
+        for lineno, line in _iter_data_lines(handle):
+            parts = line.split()
+            tag = parts[0].lower()
+            if tag == "c":
+                continue
+            if tag == "p":
+                if len(parts) < 4:
+                    raise GraphFormatError(f"{path}:{lineno}: malformed p-line {line!r}")
+                n = int(parts[2])
+                continue
+            if tag == "e":
+                if len(parts) < 3:
+                    raise GraphFormatError(f"{path}:{lineno}: malformed e-line {line!r}")
+                edges.append((int(parts[1]) - 1, int(parts[2]) - 1))
+                continue
+            raise GraphFormatError(f"{path}:{lineno}: unknown record {line!r}")
+    if n is None:
+        raise GraphFormatError(f"{path}: missing 'p edge' header")
+    g = Graph(n)
+    for u, v in edges:
+        if not (0 <= u < n and 0 <= v < n):
+            raise GraphFormatError(f"{path}: edge ({u + 1}, {v + 1}) outside 1..{n}")
+        if u != v:
+            g.add_edge(u, v)
+    return g
+
+
+def write_dimacs(g: Graph, path: str | Path) -> None:
+    """Write a DIMACS ``.col``-style file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"p edge {g.n} {g.m}\n")
+        for u, v in g.edges():
+            handle.write(f"e {u + 1} {v + 1}\n")
+
+
+def read_metis(path: str | Path) -> Graph:
+    """Read a METIS adjacency file (1-based vertex ids)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        lines = list(_iter_data_lines(handle))
+    if not lines:
+        raise GraphFormatError(f"{path}: empty METIS file")
+    header = lines[0][1].split()
+    if len(header) < 2:
+        raise GraphFormatError(f"{path}: malformed METIS header {lines[0][1]!r}")
+    n = int(header[0])
+    if len(lines) - 1 != n:
+        raise GraphFormatError(
+            f"{path}: header declares {n} vertices but file has {len(lines) - 1} "
+            "adjacency lines"
+        )
+    g = Graph(n)
+    for v, (lineno, line) in enumerate(lines[1:]):
+        for token in line.split():
+            w = int(token) - 1
+            if not 0 <= w < n:
+                raise GraphFormatError(f"{path}:{lineno}: neighbour {token} out of range")
+            if w != v and not g.has_edge(v, w):
+                g.add_edge(v, w)
+    return g
+
+
+def write_metis(g: Graph, path: str | Path) -> None:
+    """Write a METIS adjacency file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(f"{g.n} {g.m}\n")
+        for v in g.vertices():
+            handle.write(" ".join(str(w + 1) for w in sorted(g.adj[v])) + "\n")
+
+
+def read_json(path: str | Path) -> Graph:
+    """Read the library's JSON graph format."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    try:
+        n = int(payload["n"])
+        edges = payload["edges"]
+    except (KeyError, TypeError) as exc:
+        raise GraphFormatError(f"{path}: expected keys 'n' and 'edges'") from exc
+    g = Graph(n)
+    for pair in edges:
+        u, v = int(pair[0]), int(pair[1])
+        if u != v:
+            g.add_edge(u, v)
+    return g
+
+
+def write_json(g: Graph, path: str | Path) -> None:
+    """Write the library's JSON graph format."""
+    payload = {"n": g.n, "edges": [list(e) for e in g.edges()]}
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+
+
+_READERS = {
+    "edgelist": lambda p: read_edge_list(p).graph,
+    "dimacs": read_dimacs,
+    "metis": read_metis,
+    "json": read_json,
+}
+
+_SUFFIX_FORMATS = {
+    ".txt": "edgelist",
+    ".edges": "edgelist",
+    ".el": "edgelist",
+    ".col": "dimacs",
+    ".dimacs": "dimacs",
+    ".metis": "metis",
+    ".graph": "metis",
+    ".json": "json",
+}
+
+
+def load_graph(path: str | Path, fmt: str | None = None) -> Graph:
+    """Load a graph, inferring the format from the suffix when not given."""
+    path = Path(path)
+    if fmt is None:
+        fmt = _SUFFIX_FORMATS.get(path.suffix.lower(), "edgelist")
+    reader = _READERS.get(fmt)
+    if reader is None:
+        raise GraphFormatError(
+            f"unknown format {fmt!r}; expected one of {sorted(_READERS)}"
+        )
+    return reader(path)

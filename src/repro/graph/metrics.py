@@ -1,0 +1,106 @@
+"""Graph statistics reported in the paper's Table I and Theorem 2 condition.
+
+For a graph G = (V, E): ``delta`` is the degeneracy, ``tau`` the truss-based
+instance bound, ``rho = m / n`` the edge density and ``h`` the h-index
+(largest h with at least h vertices of degree >= h).  Theorem 2's condition
+
+    delta >= max(3, tau + 3 * ln(rho) / ln(3))
+
+identifies the graphs on which HBBMC's worst case beats the best-known
+``O(n * delta * 3^(delta/3))``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.graph.adjacency import Graph
+from repro.graph.coreness import core_decomposition
+from repro.graph.triangles import triangle_count
+from repro.graph.truss import truss_edge_ordering
+
+
+@dataclass(frozen=True)
+class GraphStats:
+    """Table-I style statistics for one graph."""
+
+    n: int
+    m: int
+    degeneracy: int
+    tau: int
+    density: float
+    h_index: int
+    triangles: int
+    max_degree: int
+
+    @property
+    def condition_threshold(self) -> float:
+        """The RHS of Theorem 2's condition: ``tau + 3 ln(rho)/ln 3``."""
+        if self.density <= 0:
+            return float(self.tau)
+        return self.tau + 3.0 * math.log(self.density) / math.log(3.0)
+
+    @property
+    def satisfies_condition(self) -> bool:
+        """Whether delta >= max(3, tau + 3 ln(rho)/ln 3) holds (Theorem 2)."""
+        return self.degeneracy >= max(3.0, self.condition_threshold)
+
+
+def h_index(g: Graph) -> int:
+    """Largest h such that at least h vertices have degree >= h."""
+    degrees = sorted(g.degrees(), reverse=True)
+    h = 0
+    for i, d in enumerate(degrees, start=1):
+        if d >= i:
+            h = i
+        else:
+            break
+    return h
+
+
+def edge_density(g: Graph) -> float:
+    """The paper's rho = m / n."""
+    return g.density()
+
+
+def graph_stats(g: Graph) -> GraphStats:
+    """Compute all Table-I statistics in one pass over the graph."""
+    decomposition = core_decomposition(g)
+    ordering = truss_edge_ordering(g)
+    return GraphStats(
+        n=g.n,
+        m=g.m,
+        degeneracy=decomposition.degeneracy,
+        tau=ordering.tau,
+        density=g.density(),
+        h_index=h_index(g),
+        triangles=triangle_count(g),
+        max_degree=g.max_degree(),
+    )
+
+
+def theoretical_complexities(stats: GraphStats) -> dict[str, float]:
+    """log10 of the dominant worst-case terms for each framework.
+
+    Used by the Table VII experiment to show how the bounds rank on a given
+    graph; returns log10 values because the raw terms overflow floats for
+    even moderate ``delta``.
+    """
+    n, m = max(stats.n, 1), max(stats.m, 1)
+    delta, tau, h = stats.degeneracy, stats.tau, stats.h_index
+    log3 = math.log10(3.0)
+
+    def log_term(prefactor: float, base_exponent: float) -> float:
+        return math.log10(max(prefactor, 1.0)) + base_exponent
+
+    return {
+        "BK": log_term(n, n / 3 * math.log10(3.14)),
+        "BK_Pivot": log_term(n, n / 3 * log3),
+        "BK_Degree": log_term(h * n, h / 3 * log3),
+        "BK_Degen": log_term(delta * n, delta / 3 * log3),
+        "BK_Rcd": log_term(delta * n, delta * math.log10(2.0)),
+        "BK_Fac": log_term(delta * n, delta / 3 * math.log10(3.14)),
+        "EBBMC": log_term(tau * m, tau * math.log10(2.0)),
+        "HBBMC": log_term(tau * m, tau / 3 * log3),
+    }

@@ -1,0 +1,163 @@
+"""t-plex structure: predicates and complement decomposition for ET.
+
+A graph ``g`` is a *t-plex* when every vertex has at most ``t``
+non-neighbours **including itself** (the paper's Definition in Section I).
+Equivalently, every vertex of the complement graph has degree <= t - 1.
+
+The early-termination technique (Section IV) exploits the complement shape:
+
+* 1-plex  -> complement has no edges (g is a clique);
+* 2-plex  -> complement is a perfect matching on the non-universal vertices;
+* 3-plex  -> complement has maximum degree 2, i.e. a disjoint union of
+  isolated vertices, simple paths and simple cycles.
+
+:func:`decompose_complement` returns that decomposition so the ET
+constructors (Algorithms 5-8) can walk it directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
+
+from repro.exceptions import NotAPlexError
+
+
+@dataclass
+class ComplementStructure:
+    """Decomposition of the complement of a candidate set.
+
+    Attributes:
+        universal: vertices adjacent (in the original graph) to every other
+            vertex of the set — isolated in the complement (the paper's F).
+        paths: complement paths, each a list of vertices in path order.
+        cycles: complement cycles, each a list of vertices in cycle order.
+        max_complement_degree: largest complement degree observed, which
+            tells the caller which plex class the set falls into.
+    """
+
+    universal: list[int] = field(default_factory=list)
+    paths: list[list[int]] = field(default_factory=list)
+    cycles: list[list[int]] = field(default_factory=list)
+    max_complement_degree: int = 0
+
+    @property
+    def plex_level(self) -> int:
+        """Smallest t for which the set is a t-plex (1, 2 or 3)."""
+        return self.max_complement_degree + 1
+
+
+def complement_adjacency(
+    vertices: Iterable[int], adjacency: Mapping[int, set[int]] | list[set[int]]
+) -> dict[int, set[int]]:
+    """Complement adjacency restricted to ``vertices``.
+
+    ``adjacency`` may be the global graph adjacency (list) or a branch-local
+    dict; only entries for ``vertices`` are consulted.
+    """
+    keep = set(vertices)
+    return {v: keep - adjacency[v] - {v} for v in keep}
+
+
+def is_t_plex(
+    vertices: Iterable[int],
+    adjacency: Mapping[int, set[int]] | list[set[int]],
+    t: int,
+) -> bool:
+    """Whether ``vertices`` induces a t-plex under ``adjacency``.
+
+    Uses the paper's O(|C|) style check: the minimum within-set degree must
+    be at least ``|C| - t``.
+    """
+    keep = set(vertices)
+    size = len(keep)
+    if size == 0:
+        return True
+    return all(len(adjacency[v] & keep) >= size - t for v in keep)
+
+
+def plex_level(
+    vertices: Iterable[int],
+    adjacency: Mapping[int, set[int]] | list[set[int]],
+) -> int:
+    """Smallest t such that the set is a t-plex (size of set if edgeless)."""
+    keep = set(vertices)
+    size = len(keep)
+    if size == 0:
+        return 1
+    min_degree = min(len(adjacency[v] & keep) for v in keep)
+    return size - min_degree
+
+
+def decompose_complement(
+    vertices: Iterable[int],
+    adjacency: Mapping[int, set[int]] | list[set[int]],
+) -> ComplementStructure:
+    """Split the complement of the set into isolated vertices/paths/cycles.
+
+    Raises :class:`NotAPlexError` when some complement degree exceeds 2
+    (i.e. the set is not a 3-plex), because then the complement is not a
+    union of paths and cycles and ET does not apply.
+    """
+    comp = complement_adjacency(vertices, adjacency)
+    structure = ComplementStructure()
+    max_deg = 0
+    # Deterministic iteration keeps clique output order stable across runs.
+    ordered = sorted(comp)
+    endpoints: list[int] = []
+    for v in ordered:
+        degree = len(comp[v])
+        if degree > max_deg:
+            max_deg = degree
+        if degree == 0:
+            structure.universal.append(v)
+        elif degree == 1:
+            endpoints.append(v)
+    structure.max_complement_degree = max_deg
+    if max_deg > 2:
+        raise NotAPlexError(
+            f"complement degree {max_deg} > 2: candidate set is not a 3-plex"
+        )
+
+    seen: set[int] = set()
+    # Every path has two degree-1 endpoints; walking from the smaller one
+    # consumes both.  Whatever is left after paths must be cycles.
+    for v in endpoints:
+        if v in seen:
+            continue
+        path = _walk_path(v, comp)
+        seen.update(path)
+        structure.paths.append(path)
+    if len(seen) + len(structure.universal) < len(ordered):
+        for v in ordered:
+            if v in seen or len(comp[v]) != 2:
+                continue
+            cycle = _walk_cycle(v, comp)
+            seen.update(cycle)
+            structure.cycles.append(cycle)
+    return structure
+
+
+def _walk_path(start: int, comp: Mapping[int, set[int]]) -> list[int]:
+    """Follow a degree-<=1 start vertex to the other end of its path."""
+    path = [start]
+    prev = None
+    current = start
+    while True:
+        next_candidates = [w for w in comp[current] if w != prev]
+        if not next_candidates:
+            return path
+        prev, current = current, next_candidates[0]
+        path.append(current)
+
+
+def _walk_cycle(start: int, comp: Mapping[int, set[int]]) -> list[int]:
+    """Return the cycle through ``start`` in traversal order."""
+    first_step = min(comp[start])  # deterministic direction
+    cycle = [start]
+    prev, current = start, first_step
+    while current != start:
+        cycle.append(current)
+        nxt = next(w for w in comp[current] if w != prev)
+        prev, current = current, nxt
+    return cycle

@@ -1,0 +1,21 @@
+"""k-clique listing (the paper's reference [19], EBBkC).
+
+HBBMC's edge-oriented branching was migrated from this problem, so a small
+but complete k-clique listing substrate lives here: the degeneracy-ordered
+vertex-oriented baseline and the truss-ordered edge-oriented EBBkC scheme.
+Used by tests (the two must agree) and by the examples.
+"""
+
+from repro.kclique.listing import (
+    count_k_cliques,
+    ebbkc_k_cliques,
+    k_cliques,
+    vertex_k_cliques,
+)
+
+__all__ = [
+    "count_k_cliques",
+    "ebbkc_k_cliques",
+    "k_cliques",
+    "vertex_k_cliques",
+]

@@ -1,0 +1,88 @@
+"""Unit tests for the BK baseline family."""
+
+import pytest
+
+from repro.baselines import (
+    bk,
+    bk_degen,
+    bk_degree,
+    bk_fac,
+    bk_pivot,
+    bk_rcd,
+    bk_ref,
+    rdegen,
+    rfac,
+    rrcd,
+    rref,
+)
+from repro.core.result import CliqueCollector
+from repro.graph.builders import complete_graph
+from repro.graph.generators import erdos_renyi_gnm, moon_moser
+from repro.verify import brute_force_maximal_cliques
+
+PLAIN = [bk, bk_pivot, bk_ref, bk_degen, bk_degree, bk_rcd, bk_fac]
+REDUCED = [rref, rdegen, rrcd, rfac]
+
+
+def _canon(cliques):
+    return sorted(tuple(sorted(c)) for c in cliques)
+
+
+def _run(fn, g, **kw):
+    sink = CliqueCollector()
+    counters = fn(g, sink, **kw)
+    return sink.sorted_cliques(), counters
+
+
+class TestAgainstBruteForce:
+    @pytest.mark.parametrize("fn", PLAIN + REDUCED)
+    @pytest.mark.parametrize("seed", range(4))
+    def test_random(self, fn, seed):
+        g = erdos_renyi_gnm(14, 48, seed=seed)
+        got, _ = _run(fn, g)
+        assert got == _canon(brute_force_maximal_cliques(g))
+
+    @pytest.mark.parametrize("fn", PLAIN)
+    def test_moon_moser(self, fn):
+        got, _ = _run(fn, moon_moser(3))
+        assert len(got) == 27
+
+
+class TestWorkProfiles:
+    def test_pivot_prunes_vs_plain(self):
+        g = moon_moser(4)
+        _, plain = _run(bk, g)
+        _, pivoted = _run(bk_pivot, g)
+        assert pivoted.vertex_calls < plain.vertex_calls
+
+    def test_degeneracy_splits_top_level(self):
+        """BK_Degen runs one recursion per vertex; plain pivot runs one."""
+        g = erdos_renyi_gnm(30, 150, seed=1)
+        _, degen = _run(bk_degen, g)
+        assert degen.vertex_calls >= g.n
+
+    def test_reduced_variants_use_reduction(self):
+        from repro.graph.builders import disjoint_union, path_graph
+
+        g = disjoint_union(path_graph(6), complete_graph(4))
+        _, counters = _run(rdegen, g)
+        assert counters.reduction_removed > 0
+
+    def test_rcd_counts_calls(self):
+        g = erdos_renyi_gnm(20, 90, seed=2)
+        _, counters = _run(bk_rcd, g)
+        assert counters.vertex_calls > 0
+
+
+class TestOptionForwarding:
+    @pytest.mark.parametrize("fn", PLAIN)
+    def test_et_option(self, fn):
+        g = erdos_renyi_gnm(13, 40, seed=5)
+        got, _ = _run(fn, g, et_threshold=3)
+        assert got == _canon(brute_force_maximal_cliques(g))
+
+    @pytest.mark.parametrize("fn", PLAIN)
+    def test_gr_option(self, fn):
+        g = erdos_renyi_gnm(13, 30, seed=6)
+        got, _ = _run(fn, g, graph_reduction=True)
+        assert got == _canon(brute_force_maximal_cliques(g))

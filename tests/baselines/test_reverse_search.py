@@ -1,0 +1,50 @@
+"""Unit tests for the reverse-search (output-sensitive) baseline."""
+
+import pytest
+
+from repro.baselines import reverse_search
+from repro.core.result import CliqueCollector
+from repro.graph.adjacency import Graph
+from repro.graph.builders import complete_graph, path_graph
+from repro.graph.generators import erdos_renyi_gnm, moon_moser
+from repro.verify import brute_force_maximal_cliques
+
+
+def _canon(cliques):
+    return sorted(tuple(sorted(c)) for c in cliques)
+
+
+def _run(g):
+    sink = CliqueCollector()
+    reverse_search(g, sink)
+    return sink
+
+
+class TestReverseSearch:
+    def test_empty(self):
+        assert _run(Graph(0)).cliques == []
+
+    def test_isolated_vertices(self):
+        assert _run(Graph(3)).sorted_cliques() == [(0,), (1,), (2,)]
+
+    def test_lexicographic_output_order(self):
+        """Cliques stream in lexicographic order of their sorted tuples."""
+        g = path_graph(6)
+        sink = _run(g)
+        assert sink.cliques == sorted(sink.cliques)
+
+    def test_complete(self):
+        assert _run(complete_graph(5)).sorted_cliques() == [(0, 1, 2, 3, 4)]
+
+    def test_moon_moser(self):
+        assert len(_run(moon_moser(3))) == 27
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_random_against_brute_force(self, seed):
+        g = erdos_renyi_gnm(13, 40, seed=seed)
+        assert _run(g).sorted_cliques() == _canon(brute_force_maximal_cliques(g))
+
+    def test_no_duplicates_dense(self):
+        g = erdos_renyi_gnm(16, 100, seed=42)
+        sink = _run(g)
+        assert len(sink.cliques) == len(set(map(frozenset, sink.cliques)))

@@ -1,0 +1,67 @@
+"""Smoke tests for the benchmark harness (quick mode)."""
+
+import pytest
+
+from repro.bench import measure, render_table, run_experiment
+from repro.bench.experiments import EXPERIMENTS, figure5
+from repro.bench.reporting import ExperimentResult, write_result
+from repro.graph.generators import erdos_renyi_gnm
+
+
+class TestRunner:
+    def test_measure_returns_consistent_counts(self):
+        g = erdos_renyi_gnm(30, 150, seed=1)
+        a = measure(g, "hbbmc++")
+        b = measure(g, "rdegen")
+        assert a.cliques == b.cliques
+        assert a.seconds > 0
+        assert a.counters.total_calls > 0
+
+    def test_measure_repeats_keeps_best(self):
+        g = erdos_renyi_gnm(20, 60, seed=2)
+        m = measure(g, "rdegen", repeats=2)
+        assert m.seconds > 0
+
+
+class TestExperimentRegistry:
+    def test_all_eleven_experiments_registered(self):
+        assert set(EXPERIMENTS) == {
+            "table1", "table2", "table3", "table4", "table5", "table6",
+            "table7", "figure5a", "figure5b", "figure5c", "figure5d",
+        }
+
+    def test_unknown_experiment(self):
+        with pytest.raises(KeyError):
+            run_experiment("table99")
+
+
+class TestQuickExperiments:
+    def test_table1_quick(self):
+        result = run_experiment("table1", quick=True)
+        assert len(result.rows) == 6
+        assert "delta" in result.header
+
+    def test_table7_quick(self):
+        result = run_experiment("table7", quick=True)
+        assert "HBBMC" in result.header
+        assert len(result.rows) == 6
+
+    def test_figure5_quick_shapes(self):
+        result = figure5("a", quick=True, algorithms=("rdegen",))
+        assert result.header[0] == "n"
+        assert len(result.rows) == 2
+
+    def test_figure5_bad_variant(self):
+        with pytest.raises(ValueError):
+            figure5("z")
+
+
+class TestRendering:
+    def test_render_and_write(self, tmp_path):
+        result = ExperimentResult("tX", "demo", ["a", "b"])
+        result.add_row(1, 2.5)
+        result.add_note("a note")
+        text = render_table(result)
+        assert "tX" in text and "a note" in text
+        path = write_result(result, tmp_path)
+        assert path.read_text().startswith("== tX")

@@ -1,0 +1,70 @@
+"""Shared fixtures: a corpus of small graphs with known/oracle answers."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.graph.adjacency import Graph
+from repro.graph.builders import (
+    complete_graph,
+    cycle_graph,
+    disjoint_union,
+    path_graph,
+    star_graph,
+)
+from repro.graph.generators import (
+    erdos_renyi_gnm,
+    moon_moser,
+    random_2_plex,
+    random_3_plex,
+    ring_of_cliques,
+)
+
+
+def small_graph_corpus() -> list[tuple[str, Graph]]:
+    """Deterministic corpus used by cross-validation tests."""
+    corpus: list[tuple[str, Graph]] = [
+        ("empty-0", Graph(0)),
+        ("empty-5", Graph(5)),
+        ("single-edge", _edge_graph()),
+        ("triangle", complete_graph(3)),
+        ("K6", complete_graph(6)),
+        ("P7", path_graph(7)),
+        ("C8", cycle_graph(8)),
+        ("star-6", star_graph(6)),
+        ("moon-moser-3", moon_moser(3)),
+        ("ring-of-cliques", ring_of_cliques(4, 4)),
+        ("2-plex", random_2_plex(9, seed=1)),
+        ("3-plex", random_3_plex(10, seed=2)),
+        ("union", disjoint_union(complete_graph(4), path_graph(3), Graph(2))),
+    ]
+    rng = random.Random(20250611)
+    for i in range(12):
+        n = rng.randrange(2, 22)
+        m = rng.randrange(0, n * (n - 1) // 2 + 1)
+        corpus.append((f"er-{i}-n{n}-m{m}", erdos_renyi_gnm(n, m, seed=500 + i)))
+    return corpus
+
+
+def _edge_graph() -> Graph:
+    g = Graph(2)
+    g.add_edge(0, 1)
+    return g
+
+
+@pytest.fixture(scope="session")
+def corpus() -> list[tuple[str, Graph]]:
+    return small_graph_corpus()
+
+
+@pytest.fixture()
+def k5() -> Graph:
+    return complete_graph(5)
+
+
+@pytest.fixture()
+def medium_random() -> Graph:
+    """A mid-sized random graph for integration tests."""
+    return erdos_renyi_gnm(60, 500, seed=99)

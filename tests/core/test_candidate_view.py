@@ -1,0 +1,51 @@
+"""Unit tests for the dual-view candidate detection (`_candidate_view`)."""
+
+from repro.core.edge_engine import _candidate_view
+from repro.graph.builders import complete_graph
+
+
+def _flat_rank(order, n):
+    return {u * n + v: r for r, (u, v) in enumerate(order)}
+
+
+class TestCandidateView:
+    def test_tiny_sets_are_clean(self):
+        g = complete_graph(4)
+        rank = _flat_rank(sorted(g.edges()), g.n)
+        assert _candidate_view(set(), g.adj, g.adj, rank, g.n, -1) is None
+        assert _candidate_view({0}, g.adj, g.adj, rank, g.n, -1) is None
+
+    def test_all_pairs_after_threshold_is_clean(self):
+        g = complete_graph(4)
+        order = sorted(g.edges())
+        rank = _flat_rank(order, g.n)
+        # threshold -1: every pair ranks above it
+        assert _candidate_view({0, 1, 2}, g.adj, g.adj, rank, g.n, -1) is None
+
+    def test_pair_at_or_below_threshold_detected(self):
+        g = complete_graph(4)
+        order = sorted(g.edges())  # (0,1) has rank 0
+        rank = _flat_rank(order, g.n)
+        view = _candidate_view({0, 1, 2}, g.adj, g.adj, rank, g.n, 0)
+        assert view is not None
+        # the pruned pair (0,1) must be absent from the view
+        assert 1 not in view[0]
+        assert 0 not in view[1]
+        # the later-ranked pairs survive
+        assert 2 in view[0] and 2 in view[1]
+
+    def test_pair_pruned_by_parent_detected(self):
+        g = complete_graph(3)
+        order = sorted(g.edges())
+        rank = _flat_rank(order, g.n)
+        parent = {0: {2}, 1: {2}, 2: {0, 1}}  # parent already lost (0,1)
+        view = _candidate_view({0, 1, 2}, parent, g.adj, rank, g.n, -1)
+        assert view is not None
+        assert 1 not in view[0]
+
+    def test_non_adjacent_members_do_not_trigger(self):
+        g = complete_graph(4)
+        g.remove_edge(0, 1)  # 0 and 1 are simply non-adjacent, not pruned
+        order = sorted(g.edges())
+        rank = _flat_rank(order, g.n)
+        assert _candidate_view({0, 1}, g.adj, g.adj, rank, g.n, -1) is None

@@ -1,0 +1,45 @@
+"""Unit tests for counters and run reports."""
+
+from repro.core.counters import Counters, RunReport
+
+
+class TestCounters:
+    def test_defaults_zero(self):
+        c = Counters()
+        assert c.total_calls == 0
+        assert c.et_ratio == 0.0
+
+    def test_total_calls(self):
+        c = Counters(vertex_calls=3, edge_calls=4)
+        assert c.total_calls == 7
+
+    def test_et_ratio(self):
+        c = Counters(plex_branches=10, plex_terminable=4)
+        assert c.et_ratio == 0.4
+
+    def test_as_dict_round_trip(self):
+        c = Counters(vertex_calls=5, emitted=2)
+        d = c.as_dict()
+        assert d["vertex_calls"] == 5
+        assert d["emitted"] == 2
+        assert set(d) >= {"edge_calls", "et_hits", "reduction_removed"}
+
+    def test_merge(self):
+        a = Counters(vertex_calls=1, et_hits=2)
+        b = Counters(vertex_calls=10, edge_calls=3)
+        a.merge(b)
+        assert a.vertex_calls == 11
+        assert a.edge_calls == 3
+        assert a.et_hits == 2
+
+
+class TestRunReport:
+    def test_summary_mentions_key_figures(self):
+        report = RunReport(
+            algorithm="hbbmc++", clique_count=42, seconds=1.5,
+            counters=Counters(vertex_calls=100),
+        )
+        text = report.summary()
+        assert "hbbmc++" in text
+        assert "42" in text
+        assert "100" in text

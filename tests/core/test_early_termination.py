@@ -1,0 +1,237 @@
+"""Unit tests for Algorithms 5-8 (early termination constructors)."""
+
+import pytest
+
+from repro.core.counters import Counters
+from repro.core.early_termination import (
+    count_plex_cliques,
+    cycle_partial_cliques,
+    path_partial_cliques,
+    plex_branch_cliques,
+    two_plex_cliques,
+)
+from repro.core.phases import EngineContext
+from repro.exceptions import InvalidParameterError
+from repro.graph.builders import complete_graph
+from repro.graph.generators import random_2_plex, random_3_plex
+from repro.verify import brute_force_maximal_cliques
+
+
+def _canon(cliques):
+    return sorted(tuple(sorted(c)) for c in cliques)
+
+
+class TestPathEnumeration:
+    """Algorithm 6: maximal independent sets of a complement path."""
+
+    def test_single_vertex(self):
+        assert path_partial_cliques([7]) == [[7]]
+
+    def test_two_vertices(self):
+        assert _canon(path_partial_cliques([3, 9])) == [(3,), (9,)]
+
+    def test_three_vertices(self):
+        assert _canon(path_partial_cliques([0, 1, 2])) == [(0, 2), (1,)]
+
+    def test_five_vertices(self):
+        result = _canon(path_partial_cliques([0, 1, 2, 3, 4]))
+        assert result == [(0, 2, 4), (0, 3), (1, 3), (1, 4)]
+
+    def test_empty_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            path_partial_cliques([])
+
+    @pytest.mark.parametrize("n", range(1, 12))
+    def test_counts_follow_path_mis_recurrence(self, n):
+        """#MIS of P_n satisfies f(n) = f(n-2) + f(n-3)."""
+        def f(k):
+            if k <= 0:
+                return 1 if k == 0 else 0
+            if k == 1:
+                return 1
+            if k == 2:
+                return 2
+            if k == 3:
+                return 2
+            return f(k - 2) + f(k - 3)
+
+        assert len(path_partial_cliques(list(range(n)))) == f(n)
+
+    @pytest.mark.parametrize("n", range(2, 10))
+    def test_sets_are_maximal_independent(self, n):
+        path = list(range(n))
+        adjacent = {(i, i + 1) for i in range(n - 1)}
+        adjacent |= {(b, a) for a, b in adjacent}
+        for mis in path_partial_cliques(path):
+            s = set(mis)
+            for a in s:
+                for b in s:
+                    assert a == b or (a, b) not in adjacent
+            for v in path:
+                if v not in s:
+                    assert any((v, u) in adjacent for u in s), "not maximal"
+
+
+class TestCycleEnumeration:
+    """Algorithm 7: maximal independent sets of a complement cycle."""
+
+    def test_small_cycles_explicit(self):
+        assert _canon(cycle_partial_cliques([0, 1, 2])) == [(0,), (1,), (2,)]
+        assert _canon(cycle_partial_cliques([0, 1, 2, 3])) == [(0, 2), (1, 3)]
+        assert len(cycle_partial_cliques([0, 1, 2, 3, 4])) == 5
+
+    def test_too_small_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            cycle_partial_cliques([0, 1])
+
+    @pytest.mark.parametrize("n", range(3, 13))
+    def test_counts_follow_perrin(self, n):
+        """#MIS of C_n is the Perrin sequence: p(n) = p(n-2) + p(n-3)."""
+        perrin = {3: 3, 4: 2, 5: 5}
+        for k in range(6, 14):
+            perrin[k] = perrin[k - 2] + perrin[k - 3]
+        assert len(cycle_partial_cliques(list(range(n)))) == perrin[n]
+
+    @pytest.mark.parametrize("n", range(3, 11))
+    def test_sets_are_maximal_independent(self, n):
+        cycle = list(range(n))
+        adjacent = {(i, (i + 1) % n) for i in range(n)}
+        adjacent |= {(b, a) for a, b in adjacent}
+        seen = set()
+        for mis in cycle_partial_cliques(cycle):
+            s = frozenset(mis)
+            assert s not in seen, "duplicate MIS"
+            seen.add(s)
+            for a in s:
+                for b in s:
+                    assert a == b or (a, b) not in adjacent
+            for v in cycle:
+                if v not in s:
+                    assert any((v, u) in adjacent for u in s), "not maximal"
+
+
+class TestTwoPlexLiteral:
+    """Algorithm 5 in its literal F/L/R form."""
+
+    def test_clique_single_output(self):
+        g = complete_graph(5)
+        result = list(two_plex_cliques(set(g.vertices()), g.adj))
+        assert _canon(result) == [(0, 1, 2, 3, 4)]
+
+    def test_matching_gives_power_of_two(self):
+        g = complete_graph(6)
+        g.remove_edge(0, 1)
+        g.remove_edge(2, 3)
+        result = _canon(two_plex_cliques(set(g.vertices()), g.adj))
+        assert len(result) == 4
+        assert result == _canon(brute_force_maximal_cliques(g))
+
+    def test_rejects_non_2_plex(self):
+        g = complete_graph(5)
+        g.remove_edge(0, 1)
+        g.remove_edge(0, 2)
+        with pytest.raises(InvalidParameterError):
+            list(two_plex_cliques(set(g.vertices()), g.adj))
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_matches_unified_implementation(self, seed):
+        g = random_2_plex(9, seed=seed)
+        vs = set(g.vertices())
+        literal = _canon(two_plex_cliques(vs, g.adj))
+        unified = _canon(plex_branch_cliques(vs, g.adj))
+        assert literal == unified
+
+
+class TestPlexBranchCliques:
+    """Algorithm 8 end-to-end against brute force."""
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_3_plex_matches_brute_force(self, seed):
+        g = random_3_plex(11, seed=seed)
+        vs = set(g.vertices())
+        ours = _canon(plex_branch_cliques(vs, g.adj))
+        assert ours == _canon(brute_force_maximal_cliques(g))
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_count_matches_enumeration(self, seed):
+        g = random_3_plex(12, seed=seed)
+        vs = set(g.vertices())
+        assert count_plex_cliques(vs, g.adj) == len(list(plex_branch_cliques(vs, g.adj)))
+
+    def test_paper_figure3_example(self):
+        """The paper's 2-plex example: F={v1,v2}, pairs (v3,v5),(v4,v6)."""
+        g = complete_graph(6)  # vertices 0..5 are the paper's v1..v6
+        g.remove_edge(2, 4)
+        g.remove_edge(3, 5)
+        result = _canon(plex_branch_cliques(set(g.vertices()), g.adj))
+        assert result == [
+            (0, 1, 2, 3), (0, 1, 2, 5), (0, 1, 3, 4), (0, 1, 4, 5),
+        ]
+
+    def test_paper_figure4_example(self):
+        """The paper's 3-plex example: complement path v1-v2-v3 and
+        complement triangle v4-v5-v6 (6 maximal cliques)."""
+        g = complete_graph(6)
+        g.remove_edge(0, 1)
+        g.remove_edge(1, 2)
+        g.remove_edge(3, 4)
+        g.remove_edge(4, 5)
+        g.remove_edge(3, 5)
+        result = _canon(plex_branch_cliques(set(g.vertices()), g.adj))
+        assert result == [
+            (0, 2, 3), (0, 2, 4), (0, 2, 5), (1, 3), (1, 4), (1, 5),
+        ]
+
+
+class TestFirePlexViaContext:
+    def _run(self, g, S=()):
+        out = []
+        ctx = EngineContext(sink=out.append, counters=Counters(), et_threshold=3)
+        from repro.core.early_termination import try_early_termination
+
+        fired = try_early_termination(
+            list(S), set(g.vertices()), set(), g.adj, g.adj, ctx
+        )
+        return fired, out, ctx.counters
+
+    def test_prefix_is_prepended(self):
+        g = complete_graph(4)
+        fired, out, counters = self._run(g, S=(100, 101))
+        assert fired
+        assert len(out) == 1
+        assert set(out[0]) == {100, 101, 0, 1, 2, 3}
+        assert counters.et_cliques == 1
+
+    def test_does_not_fire_with_exclusion(self):
+        g = complete_graph(4)
+        out = []
+        ctx = EngineContext(sink=out.append, counters=Counters(), et_threshold=3)
+        from repro.core.early_termination import try_early_termination
+
+        fired = try_early_termination([], set(g.vertices()), {99}, g.adj, g.adj, ctx)
+        assert not fired
+        assert ctx.counters.plex_branches == 1
+        assert ctx.counters.plex_terminable == 0
+
+    def test_does_not_fire_when_not_plex(self):
+        g = complete_graph(6)
+        for e in [(0, 1), (0, 2), (0, 3)]:
+            g.remove_edge(*e)
+        fired, out, counters = self._run(g)
+        assert not fired
+        assert counters.plex_branches == 0
+
+    def test_disabled_when_threshold_zero(self):
+        g = complete_graph(4)
+        out = []
+        ctx = EngineContext(sink=out.append, counters=Counters(), et_threshold=0)
+        from repro.core.early_termination import try_early_termination
+
+        assert not try_early_termination([], set(g.vertices()), set(), g.adj, g.adj, ctx)
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_fires_correctly_on_random_plexes(self, seed):
+        g = random_3_plex(10, seed=seed)
+        fired, out, _counters = self._run(g)
+        assert fired
+        assert _canon(out) == _canon(brute_force_maximal_cliques(g))

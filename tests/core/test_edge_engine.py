@@ -1,0 +1,113 @@
+"""Unit tests for the edge-oriented engine (EBBMC / HBBMC internals)."""
+
+import pytest
+
+from repro.core.counters import Counters
+from repro.core.edge_engine import run_edge_root
+from repro.core.phases import make_context
+from repro.graph.adjacency import Graph
+from repro.graph.builders import complete_graph, disjoint_union, path_graph
+from repro.graph.generators import erdos_renyi_gnm, moon_moser
+from repro.graph.truss import truss_edge_ordering
+from repro.verify import brute_force_maximal_cliques
+
+
+def _canon(cliques):
+    return sorted(tuple(sorted(c)) for c in cliques)
+
+
+def _run(g, depth=1, et=0, strategy="tomita"):
+    out = []
+    ctx = make_context(out.append, Counters(), et_threshold=et,
+                       vertex_strategy=strategy)
+    run_edge_root(g, truss_edge_ordering(g), depth, ctx)
+    return out, ctx.counters
+
+
+class TestBasics:
+    def test_empty_graph(self):
+        out, _ = _run(Graph(0))
+        assert out == []
+
+    def test_isolated_vertices_are_singletons(self):
+        out, counters = _run(Graph(3))
+        assert _canon(out) == [(0,), (1,), (2,)]
+        assert counters.singleton_branches == 3
+
+    def test_single_edge(self):
+        g = Graph(2)
+        g.add_edge(0, 1)
+        out, _ = _run(g)
+        assert _canon(out) == [(0, 1)]
+
+    def test_triangle(self):
+        out, _ = _run(complete_graph(3))
+        assert _canon(out) == [(0, 1, 2)]
+
+    def test_mixed_components(self):
+        g = disjoint_union(complete_graph(3), path_graph(2), Graph(1))
+        out, _ = _run(g)
+        assert _canon(out) == [(0, 1, 2), (3, 4), (5,)]
+
+
+class TestDepths:
+    @pytest.mark.parametrize("depth", [1, 2, 3, None])
+    @pytest.mark.parametrize("seed", range(4))
+    def test_all_depths_agree_with_brute_force(self, depth, seed):
+        g = erdos_renyi_gnm(13, 45, seed=seed)
+        out, _ = _run(g, depth=depth)
+        assert _canon(out) == _canon(brute_force_maximal_cliques(g))
+
+    def test_depth_counters(self):
+        g = moon_moser(3)
+        _, d1 = _run(g, depth=1)
+        _, d3 = _run(g, depth=3)
+        _, pure = _run(g, depth=None)
+        assert d1.edge_calls < d3.edge_calls <= pure.edge_calls
+        assert pure.vertex_calls == 0  # pure EBBMC never enters a vertex phase
+
+    def test_deeper_edge_branching_more_total_calls(self):
+        """Table IV shape: d=1 minimises total branching calls."""
+        g = erdos_renyi_gnm(30, 200, seed=5)
+        _, d1 = _run(g, depth=1)
+        _, d2 = _run(g, depth=2)
+        assert d1.total_calls <= d2.total_calls
+
+
+class TestOddCliques:
+    def test_odd_sized_cliques_need_singleton_branches(self):
+        """A maximal clique of odd size ends in an Eq.-(3) singleton branch
+        under pure edge branching."""
+        g = complete_graph(5)
+        out, counters = _run(g, depth=None)
+        assert _canon(out) == [(0, 1, 2, 3, 4)]
+        assert counters.singleton_branches > 0
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 4, 5, 6, 7])
+    def test_complete_graphs_all_sizes(self, n):
+        out, _ = _run(complete_graph(n), depth=None)
+        assert _canon(out) == [tuple(range(n))]
+
+
+class TestEarlyTerminationInEdgePhase:
+    @pytest.mark.parametrize("seed", range(4))
+    def test_pure_ebbmc_with_et(self, seed):
+        g = erdos_renyi_gnm(12, 40, seed=seed)
+        out, _ = _run(g, depth=None, et=3)
+        assert _canon(out) == _canon(brute_force_maximal_cliques(g))
+
+    def test_root_et_fires_on_plex(self):
+        g = complete_graph(6)
+        g.remove_edge(0, 1)
+        out, counters = _run(g, depth=1, et=3)
+        assert _canon(out) == _canon(brute_force_maximal_cliques(g))
+        assert counters.et_hits == 1
+        assert counters.edge_calls == 1  # resolved at the root
+
+
+class TestVertexStrategiesUnderEdgeRoot:
+    @pytest.mark.parametrize("strategy", ["tomita", "ref", "rcd", "fac"])
+    def test_hybrid_with_any_phase(self, strategy):
+        g = erdos_renyi_gnm(14, 55, seed=11)
+        out, _ = _run(g, depth=1, strategy=strategy, et=3)
+        assert _canon(out) == _canon(brute_force_maximal_cliques(g))

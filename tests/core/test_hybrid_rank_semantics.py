@@ -1,0 +1,101 @@
+"""The rank-threshold fix: why the vertex phase must not re-induce from G.
+
+Algorithm 4 as printed hands each edge branch to a VBBMC recursion whose
+Eq. (1) re-induces candidate graphs from G *by vertex set*.  When two
+candidates of a branch are joined by an edge ranked *before* the branch's
+defining edge, that re-induction resurrects the pair and the clique
+containing it is enumerated twice (once here, once in the earlier branch
+that owns the pair).  Our engine keeps the rank threshold through the
+vertex phase instead; `_candidate_view` detects affected branches.
+
+These tests (a) find real graphs with such rank-inverted pairs, (b) show
+our implementation stays duplicate-free on them, and (c) demonstrate that
+ignoring the threshold (the literal reading) produces duplicates.
+"""
+
+import pytest
+
+import repro.core.edge_engine as edge_engine
+from repro.core.counters import Counters
+from repro.core.edge_engine import run_edge_root
+from repro.core.phases import make_context
+from repro.graph.builders import to_networkx
+from repro.graph.generators import erdos_renyi_gnm
+from repro.graph.truss import truss_edge_ordering
+
+
+def _canon(cliques):
+    return sorted(tuple(sorted(c)) for c in cliques)
+
+
+def _reference(g):
+    nx = pytest.importorskip("networkx")
+    return _canon(nx.find_cliques(to_networkx(g)))
+
+
+def _graphs_with_pruned_pairs(count=3, max_seed=150):
+    """Find random graphs whose top-level branches contain a rank-inverted
+    (pruned) candidate pair.  These need moderately dense graphs."""
+    found = []
+    for seed in range(max_seed):
+        g = erdos_renyi_gnm(25, 200, seed=seed)
+        ordering = truss_edge_ordering(g)
+        rank = ordering.rank
+        n = g.n
+        flat = {u * n + v: r for r, (u, v) in enumerate(rank)}
+        for (a, b), r in rank.items():
+            cand = set()
+            for w in g.common_neighbors(a, b):
+                ka = (a, w) if a < w else (w, a)
+                kb = (b, w) if b < w else (w, b)
+                if rank[ka] > r and rank[kb] > r:
+                    cand.add(w)
+            view = edge_engine._candidate_view(cand, g.adj, g.adj, flat, n, r)
+            if view is not None:
+                found.append(g)
+                break
+        if len(found) >= count:
+            break
+    return found
+
+
+@pytest.fixture(scope="module")
+def pruned_pair_graphs():
+    graphs = _graphs_with_pruned_pairs()
+    assert graphs, "no witness graph found — generator drifted?"
+    return graphs
+
+
+class TestCorrectSemantics:
+    def test_no_duplicates_on_witness_graphs(self, pruned_pair_graphs):
+        for g in pruned_pair_graphs:
+            out = []
+            ctx = make_context(out.append, Counters(), et_threshold=3)
+            run_edge_root(g, truss_edge_ordering(g), 1, ctx)
+            assert len(out) == len(set(map(frozenset, out)))
+            assert _canon(out) == _reference(g)
+
+
+class TestLiteralReadingFails:
+    def test_ignoring_threshold_double_counts(self, pruned_pair_graphs,
+                                              monkeypatch):
+        """Force every branch into 'same-view' mode (the paper's literal
+        Eq. (1) re-induction): at least one witness graph must now emit a
+        duplicate or wrong clique set."""
+        monkeypatch.setattr(
+            edge_engine, "_candidate_view",
+            lambda members, parent_cand, adj, rank, n, threshold: None,
+        )
+        broken_somewhere = False
+        for g in pruned_pair_graphs:
+            out = []
+            ctx = make_context(out.append, Counters(), et_threshold=0)
+            run_edge_root(g, truss_edge_ordering(g), 1, ctx)
+            expected = _reference(g)
+            if _canon(out) != expected or len(out) != len(set(map(frozenset, out))):
+                broken_somewhere = True
+                break
+        assert broken_somewhere, (
+            "literal re-induction unexpectedly produced correct results on "
+            "all witnesses — the fix would be unnecessary"
+        )

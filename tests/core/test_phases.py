@@ -1,0 +1,115 @@
+"""Unit tests for the vertex-phase strategies (pivot / rcd / fac)."""
+
+import pytest
+
+from repro.core.counters import Counters
+from repro.core.phases import (
+    EngineContext,
+    fac_phase,
+    make_context,
+    pivot_phase,
+    rcd_phase,
+)
+from repro.exceptions import InvalidParameterError
+from repro.graph.builders import complete_graph
+from repro.graph.generators import erdos_renyi_gnm, moon_moser
+from repro.verify import brute_force_maximal_cliques
+
+
+def _canon(cliques):
+    return sorted(tuple(sorted(c)) for c in cliques)
+
+
+def _run_phase(g, strategy, et=0):
+    out = []
+    ctx = make_context(out.append, Counters(), et_threshold=et,
+                       vertex_strategy=strategy)
+    ctx.phase([], set(g.vertices()), set(), g.adj, g.adj, ctx)
+    return out, ctx.counters
+
+
+ALL_STRATEGIES = ["tomita", "ref", "none", "rcd", "fac"]
+
+
+class TestMakeContext:
+    def test_strategy_wiring(self):
+        ctx = make_context(lambda c: None, vertex_strategy="rcd")
+        assert ctx.phase is rcd_phase
+        ctx = make_context(lambda c: None, vertex_strategy="fac")
+        assert ctx.phase is fac_phase
+        ctx = make_context(lambda c: None, vertex_strategy="ref")
+        assert ctx.phase is pivot_phase
+        assert ctx.pivot == "ref"
+
+    def test_unknown_strategy(self):
+        with pytest.raises(InvalidParameterError):
+            make_context(lambda c: None, vertex_strategy="bogus")
+
+    def test_bad_et_threshold(self):
+        with pytest.raises(InvalidParameterError):
+            EngineContext(sink=lambda c: None, et_threshold=7)
+
+
+class TestCorrectness:
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    def test_k5(self, strategy):
+        out, _ = _run_phase(complete_graph(5), strategy)
+        assert _canon(out) == [(0, 1, 2, 3, 4)]
+
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    def test_moon_moser(self, strategy):
+        g = moon_moser(3)
+        out, _ = _run_phase(g, strategy)
+        assert len(out) == 27
+        assert len(set(map(frozenset, out))) == 27
+
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random(self, strategy, seed):
+        g = erdos_renyi_gnm(13, 35, seed=seed)
+        out, _ = _run_phase(g, strategy)
+        assert _canon(out) == _canon(brute_force_maximal_cliques(g))
+
+    @pytest.mark.parametrize("strategy", ALL_STRATEGIES)
+    @pytest.mark.parametrize("et", [0, 1, 2, 3])
+    def test_random_with_early_termination(self, strategy, et):
+        g = erdos_renyi_gnm(14, 50, seed=31)
+        out, _ = _run_phase(g, strategy, et=et)
+        assert _canon(out) == _canon(brute_force_maximal_cliques(g))
+
+
+class TestPruningPower:
+    def test_pivot_beats_plain_bk_on_calls(self):
+        g = moon_moser(4)
+        _, pivot_counters = _run_phase(g, "tomita")
+        _, plain_counters = _run_phase(g, "none")
+        assert pivot_counters.vertex_calls < plain_counters.vertex_calls
+
+    def test_et_reduces_calls(self):
+        g = erdos_renyi_gnm(40, 350, seed=3)
+        _, no_et = _run_phase(g, "tomita", et=0)
+        _, with_et = _run_phase(g, "tomita", et=3)
+        assert with_et.vertex_calls <= no_et.vertex_calls
+
+    def test_ref_dead_branch_shortcut(self):
+        """An exclusion vertex adjacent to all candidates kills the branch."""
+        g = complete_graph(4)
+        out = []
+        ctx = make_context(out.append, vertex_strategy="ref")
+        # vertex 3 is excluded and adjacent to all of C = {0, 1, 2}
+        ctx.phase([], {0, 1, 2}, {3}, g.adj, g.adj, ctx)
+        assert out == []
+        assert ctx.counters.vertex_calls == 1  # no recursion happened
+
+
+class TestCounters:
+    def test_vertex_calls_counted(self):
+        g = complete_graph(3)
+        _, counters = _run_phase(g, "tomita")
+        assert counters.vertex_calls >= 1
+
+    def test_emitted_not_counted_by_phase(self):
+        """Phases stream to the sink; `emitted` is the framework's counter."""
+        g = complete_graph(3)
+        _, counters = _run_phase(g, "tomita")
+        assert counters.emitted == 0

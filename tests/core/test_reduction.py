@@ -1,0 +1,132 @@
+"""Unit tests for graph reduction (GR) and its suppression bookkeeping."""
+
+import pytest
+
+from repro.core.reduction import reduce_graph
+from repro.exceptions import InvalidParameterError
+from repro.graph.adjacency import Graph
+from repro.graph.builders import (
+    complete_graph,
+    cycle_graph,
+    disjoint_union,
+    path_graph,
+    star_graph,
+)
+from repro.graph.generators import erdos_renyi_gnm
+from repro.verify import brute_force_maximal_cliques
+
+
+def _canon(cliques):
+    return sorted(tuple(sorted(c)) for c in cliques)
+
+
+def _full_enumeration_via_reduction(g):
+    """Reduction output + brute force on the reduced graph, filtered."""
+    result = reduce_graph(g)
+    rest = [
+        c for c in brute_force_maximal_cliques(result.graph)
+        if frozenset(c) not in result.suppressed
+    ]
+    return _canon(list(result.emitted) + rest)
+
+
+class TestRules:
+    def test_isolated_vertex(self):
+        g = Graph(3)
+        g.add_edge(0, 1)
+        result = reduce_graph(g)
+        assert (2,) in [tuple(sorted(c)) for c in result.emitted]
+
+    def test_pendant_vertex(self):
+        g = star_graph(1)  # single edge
+        result = reduce_graph(g)
+        assert _canon(result.emitted) == [(0, 1)]
+        assert result.graph.m == 0
+
+    def test_triangle_fully_reduced(self):
+        g = complete_graph(3)
+        result = reduce_graph(g)
+        assert _canon(result.emitted) == [(0, 1, 2)]
+        assert result.graph.m == 0
+
+    def test_path_degree2_rule(self):
+        g = path_graph(3)  # 0-1-2, vertex 1 has non-adjacent neighbours
+        assert _full_enumeration_via_reduction(g) == [(0, 1), (1, 2)]
+
+    def test_long_path(self):
+        g = path_graph(8)
+        expected = [(i, i + 1) for i in range(7)]
+        assert _full_enumeration_via_reduction(g) == expected
+
+    def test_cycle_reduces_completely(self):
+        g = cycle_graph(7)
+        expected = _canon(brute_force_maximal_cliques(g))
+        assert _full_enumeration_via_reduction(g) == expected
+
+    def test_k4_untouched_by_default(self):
+        g = complete_graph(4)
+        result = reduce_graph(g)  # min degree 3 > 2
+        assert result.graph.m == 6
+        assert result.emitted == []
+
+    def test_k4_reduced_with_higher_cap(self):
+        g = complete_graph(4)
+        result = reduce_graph(g, max_degree=3)
+        assert _canon(result.emitted) == [(0, 1, 2, 3)]
+
+    def test_bad_max_degree(self):
+        with pytest.raises(InvalidParameterError):
+            reduce_graph(Graph(2), max_degree=-1)
+
+
+class TestSuppression:
+    def test_triangle_chain_no_subset_emission(self):
+        """Peeling a triangle must not later emit its subsets."""
+        result = reduce_graph(complete_graph(3))
+        assert _canon(result.emitted) == [(0, 1, 2)]
+        # the suppressed sets include the edge and singleton leftovers
+        assert frozenset({1, 2}) in result.suppressed
+
+    def test_k2_component(self):
+        g = disjoint_union(complete_graph(2), complete_graph(3))
+        assert _full_enumeration_via_reduction(g) == [(0, 1), (2, 3, 4)]
+
+    def test_removed_vertices_singletons_suppressed(self):
+        g = path_graph(4)
+        result = reduce_graph(g)
+        for v in result.removed:
+            assert frozenset({v}) in result.suppressed
+
+
+class TestEquivalence:
+    """The reduction invariant: emitted + (MC(reduced) - suppressed) = MC(G)."""
+
+    @pytest.mark.parametrize("seed", range(15))
+    def test_random_graphs(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        n = rng.randrange(2, 16)
+        m = rng.randrange(0, n * (n - 1) // 2 + 1)
+        g = erdos_renyi_gnm(n, m, seed=100 + seed)
+        assert _full_enumeration_via_reduction(g) == _canon(
+            brute_force_maximal_cliques(g)
+        )
+
+    @pytest.mark.parametrize("max_degree", [0, 1, 2, 3, 4])
+    def test_any_degree_cap_is_sound(self, max_degree):
+        g = erdos_renyi_gnm(14, 40, seed=9)
+        result = reduce_graph(g, max_degree=max_degree)
+        rest = [
+            c for c in brute_force_maximal_cliques(result.graph)
+            if frozenset(c) not in result.suppressed
+        ]
+        assert _canon(list(result.emitted) + rest) == _canon(
+            brute_force_maximal_cliques(g)
+        )
+
+    def test_tree_reduces_to_nothing(self):
+        g = star_graph(6)
+        result = reduce_graph(g)
+        assert result.graph.m == 0
+        assert _canon(result.emitted) == [(0, v) for v in range(1, 7)]

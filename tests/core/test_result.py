@@ -1,0 +1,76 @@
+"""Unit tests for clique sinks."""
+
+from repro.core.result import (
+    CliqueCollector,
+    CliqueCounter,
+    SizeHistogram,
+    materialize,
+    suppressing_sink,
+    tee_sink,
+)
+
+
+class TestCollector:
+    def test_collects_in_order(self):
+        sink = CliqueCollector()
+        sink((2, 1))
+        sink((3,))
+        assert sink.cliques == [(2, 1), (3,)]
+        assert len(sink) == 2
+
+    def test_sorted_cliques_canonical(self):
+        sink = CliqueCollector()
+        sink((2, 1))
+        sink((0,))
+        assert sink.sorted_cliques() == [(0,), (1, 2)]
+
+
+class TestCounter:
+    def test_statistics(self):
+        sink = CliqueCounter()
+        sink((1, 2, 3))
+        sink((4,))
+        assert sink.count == 2
+        assert sink.max_size == 3
+        assert sink.average_size == 2.0
+
+    def test_empty_average(self):
+        assert CliqueCounter().average_size == 0.0
+
+
+class TestHistogram:
+    def test_histogram(self):
+        sink = SizeHistogram()
+        for clique in [(1,), (2,), (1, 2, 3)]:
+            sink(clique)
+        assert sink.histogram == {1: 2, 3: 1}
+
+
+class TestSuppressingSink:
+    def test_passthrough_when_empty(self):
+        inner = CliqueCollector()
+        sink = suppressing_sink(inner, set())
+        assert sink is inner  # no wrapper allocated
+
+    def test_filters_suppressed(self):
+        inner = CliqueCollector()
+        hits = []
+        sink = suppressing_sink(inner, {frozenset({1, 2})},
+                                on_suppress=lambda: hits.append(1))
+        sink((2, 1))
+        sink((3,))
+        assert inner.cliques == [(3,)]
+        assert hits == [1]
+
+
+class TestTee:
+    def test_fanout(self):
+        a, b = CliqueCollector(), CliqueCounter()
+        sink = tee_sink(a, b)
+        sink((1, 2))
+        assert a.cliques == [(1, 2)]
+        assert b.count == 1
+
+
+def test_materialize():
+    assert materialize([(3, 1), (2,)]) == [(1, 3), (2,)]

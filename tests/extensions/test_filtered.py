@@ -1,0 +1,62 @@
+"""Unit tests for directed/weighted MCE filtering (Section V-A remark)."""
+
+import pytest
+
+from repro.extensions import directed_maximal_cliques, weighted_maximal_cliques
+from repro.graph.builders import complete_graph
+
+
+def _canon(cliques):
+    return sorted(tuple(sorted(c)) for c in cliques)
+
+
+class TestWeighted:
+    def test_min_weight_filter(self):
+        g = complete_graph(4)
+        weights = {e: 1.0 for e in g.edges()}
+        weights[(0, 1)] = 0.1
+        strong = weighted_maximal_cliques(g, weights, min_weight=0.5)
+        assert strong == []  # the only maximal clique contains the weak edge
+        loose = weighted_maximal_cliques(g, weights, min_weight=0.05)
+        assert _canon(loose) == [(0, 1, 2, 3)]
+
+    def test_custom_predicate(self):
+        g = complete_graph(3)
+        weights = {(0, 1): 3.0, (0, 2): 1.0, (1, 2): 2.0}
+        heavy_on_average = weighted_maximal_cliques(
+            g, weights, predicate=lambda ws: sum(ws) / len(ws) >= 2.0
+        )
+        assert _canon(heavy_on_average) == [(0, 1, 2)]
+
+    def test_requires_some_condition(self):
+        g = complete_graph(3)
+        with pytest.raises(ValueError):
+            weighted_maximal_cliques(g, {})
+
+    def test_missing_weights_default_zero(self):
+        g = complete_graph(3)
+        assert weighted_maximal_cliques(g, {}, min_weight=0.1) == []
+
+
+class TestDirected:
+    def test_mutual_arcs_required(self):
+        arcs = [("a", "b"), ("b", "a"), ("b", "c")]  # b->c is one-way
+        cliques = directed_maximal_cliques(arcs)
+        assert sorted(sorted(c) for c in cliques) == [["a", "b"]]
+
+    def test_ignore_directions(self):
+        arcs = [("a", "b"), ("b", "c"), ("c", "a")]
+        cliques = directed_maximal_cliques(arcs, require_mutual=False)
+        assert sorted(sorted(c) for c in cliques) == [["a", "b", "c"]]
+
+    def test_self_arcs_dropped(self):
+        arcs = [("a", "a"), ("a", "b"), ("b", "a")]
+        cliques = directed_maximal_cliques(arcs)
+        assert sorted(sorted(c) for c in cliques) == [["a", "b"]]
+
+    def test_mutual_triangle(self):
+        arcs = []
+        for u, v in [("x", "y"), ("y", "z"), ("x", "z")]:
+            arcs += [(u, v), (v, u)]
+        cliques = directed_maximal_cliques(arcs)
+        assert sorted(sorted(c) for c in cliques) == [["x", "y", "z"]]

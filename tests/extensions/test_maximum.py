@@ -1,0 +1,44 @@
+"""Unit tests for maximum clique / clique number helpers."""
+
+import pytest
+
+from repro.extensions import clique_number, maximum_clique
+from repro.extensions.maximum import greedy_clique_lower_bound
+from repro.graph.adjacency import Graph
+from repro.graph.builders import complete_graph, cycle_graph, path_graph
+from repro.graph.generators import erdos_renyi_gnm, moon_moser, planted_cliques
+
+
+class TestMaximumClique:
+    def test_complete_graph(self):
+        assert maximum_clique(complete_graph(5)) == (0, 1, 2, 3, 4)
+        assert clique_number(complete_graph(5)) == 5
+
+    def test_triangle_free(self):
+        assert clique_number(cycle_graph(8)) == 2
+        assert clique_number(path_graph(5)) == 2
+
+    def test_empty(self):
+        assert maximum_clique(Graph(0)) == ()
+        assert clique_number(Graph(3)) == 1  # isolated vertices
+
+    def test_moon_moser(self):
+        assert clique_number(moon_moser(4)) == 4
+
+    def test_planted_clique_found(self):
+        g = planted_cliques(60, 1, 9, 100, seed=4)
+        clique = maximum_clique(g)
+        assert len(clique) >= 9
+        assert g.is_clique(clique)
+
+
+class TestGreedyBound:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_lower_bound_is_valid_clique(self, seed):
+        g = erdos_renyi_gnm(40, 250, seed=seed)
+        greedy = greedy_clique_lower_bound(g)
+        assert g.is_clique(greedy)
+        assert len(greedy) <= clique_number(g)
+
+    def test_greedy_optimal_on_complete(self):
+        assert len(greedy_clique_lower_bound(complete_graph(6))) == 6

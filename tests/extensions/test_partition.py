@@ -1,0 +1,71 @@
+"""Unit tests for the parallel-ready work partition."""
+
+import pytest
+
+from repro import maximal_cliques
+from repro.core.result import CliqueCollector
+from repro.exceptions import InvalidParameterError
+from repro.extensions import enumerate_chunk, partition_work
+from repro.graph.adjacency import Graph
+from repro.graph.generators import erdos_renyi_gnm, moon_moser
+
+
+def _canon(cliques):
+    return sorted(tuple(sorted(c)) for c in cliques)
+
+
+def _run_partitioned(g, chunks):
+    ordering, work = partition_work(g, chunks)
+    out = []
+    for chunk in work:
+        sink = CliqueCollector()
+        enumerate_chunk(g, ordering, chunk, sink)
+        out.append(sink.cliques)
+    return out
+
+
+class TestPartition:
+    def test_bad_chunk_count(self):
+        with pytest.raises(InvalidParameterError):
+            partition_work(Graph(3), 0)
+
+    def test_bounds_cover_all_edges(self):
+        g = erdos_renyi_gnm(30, 200, seed=1)
+        ordering, work = partition_work(g, 7)
+        covered = []
+        for chunk in work:
+            covered.extend(range(chunk.first_rank, chunk.last_rank))
+        assert covered == list(range(len(ordering.order)))
+
+    @pytest.mark.parametrize("chunks", [1, 2, 3, 8])
+    @pytest.mark.parametrize("seed", range(3))
+    def test_union_equals_full_enumeration(self, chunks, seed):
+        g = erdos_renyi_gnm(25, 150, seed=seed)
+        pieces = _run_partitioned(g, chunks)
+        merged = [c for piece in pieces for c in piece]
+        # exactly once across chunks: no duplicates anywhere
+        assert len(merged) == len({frozenset(c) for c in merged})
+        assert _canon(merged) == maximal_cliques(g)
+
+    def test_chunks_are_disjoint(self):
+        g = moon_moser(3)
+        pieces = _run_partitioned(g, 4)
+        seen = set()
+        for piece in pieces:
+            this = {frozenset(c) for c in piece}
+            assert not (this & seen)
+            seen |= this
+        assert len(seen) == 27
+
+    def test_isolated_vertices_only_in_first_chunk(self):
+        g = Graph(4)
+        g.add_edge(0, 1)
+        pieces = _run_partitioned(g, 2)
+        assert (2,) in pieces[0] and (3,) in pieces[0]
+
+    def test_more_chunks_than_edges(self):
+        g = Graph(3)
+        g.add_edge(0, 1)
+        pieces = _run_partitioned(g, 10)
+        merged = [c for piece in pieces for c in piece]
+        assert _canon(merged) == maximal_cliques(g)

@@ -1,0 +1,107 @@
+"""Unit tests for graph builders and converters."""
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.graph.builders import (
+    complete_graph,
+    cycle_graph,
+    disjoint_union,
+    from_adjacency,
+    from_edge_list,
+    from_int_edges,
+    from_networkx,
+    path_graph,
+    star_graph,
+    to_networkx,
+)
+
+
+class TestFromEdgeList:
+    def test_string_labels(self):
+        lg = from_edge_list([("a", "b"), ("b", "c")])
+        assert lg.graph.n == 3
+        assert lg.graph.m == 2
+        assert lg.relabel_clique([lg.index["a"], lg.index["b"]]) == ["a", "b"]
+
+    def test_self_loops_dropped(self):
+        lg = from_edge_list([("a", "a"), ("a", "b")])
+        assert lg.graph.m == 1
+
+    def test_duplicates_collapsed(self):
+        lg = from_edge_list([("a", "b"), ("b", "a"), ("a", "b")])
+        assert lg.graph.m == 1
+
+    def test_num_vertices_pads_isolated(self):
+        lg = from_edge_list([(0, 1)], num_vertices=4)
+        assert lg.graph.n == 4
+
+    def test_num_vertices_too_small_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            from_edge_list([(0, 1), (2, 3)], num_vertices=2)
+
+
+class TestFromIntEdges:
+    def test_ids_preserved(self):
+        g = from_int_edges([(0, 5)])
+        assert g.n == 6
+        assert g.has_edge(0, 5)
+
+    def test_num_vertices(self):
+        g = from_int_edges([(0, 1)], num_vertices=10)
+        assert g.n == 10
+
+    def test_inconsistent_num_vertices_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            from_int_edges([(0, 9)], num_vertices=5)
+
+
+class TestFromAdjacency:
+    def test_dict_form(self):
+        g = from_adjacency({0: [1, 2], 1: [0], 2: [0]})
+        assert g.m == 2
+
+    def test_list_form(self):
+        g = from_adjacency([[1], [0, 2], [1]])
+        assert g.m == 2
+
+
+class TestStructured:
+    def test_complete_graph(self):
+        g = complete_graph(5)
+        assert g.m == 10
+
+    def test_path_graph(self):
+        g = path_graph(4)
+        assert g.m == 3
+        assert g.has_edge(0, 1) and g.has_edge(2, 3)
+
+    def test_cycle_graph(self):
+        g = cycle_graph(5)
+        assert g.m == 5
+        assert g.has_edge(4, 0)
+
+    def test_cycle_too_small(self):
+        with pytest.raises(InvalidParameterError):
+            cycle_graph(2)
+
+    def test_star(self):
+        g = star_graph(4)
+        assert g.degree(0) == 4
+        assert g.m == 4
+
+    def test_disjoint_union(self):
+        g = disjoint_union(complete_graph(3), path_graph(2))
+        assert g.n == 5
+        assert g.m == 4
+        assert g.has_edge(3, 4)
+        assert not g.has_edge(2, 3)
+
+
+class TestNetworkxRoundTrip:
+    def test_round_trip(self):
+        nx = pytest.importorskip("networkx")
+        g = complete_graph(4)
+        g2 = from_networkx(to_networkx(g)).graph
+        assert sorted(g2.edges()) == sorted(g.edges())
+        del nx

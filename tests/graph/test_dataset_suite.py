@@ -1,0 +1,68 @@
+"""Unit tests for the Table I proxy dataset suite."""
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.graph.generators import DATASET_NAMES, PAPER_STATS, load_dataset, paper_stats
+from repro.graph.generators.dataset_suite import social_proxy
+from repro.graph.metrics import graph_stats
+
+
+class TestRegistry:
+    def test_sixteen_datasets(self):
+        assert len(DATASET_NAMES) == 16
+        assert set(DATASET_NAMES) == set(PAPER_STATS)
+
+    def test_unknown_dataset(self):
+        with pytest.raises(InvalidParameterError):
+            load_dataset("XX")
+        with pytest.raises(InvalidParameterError):
+            paper_stats("XX")
+
+    def test_paper_stats_table1_row(self):
+        p = paper_stats("OR")
+        assert p.name == "orkut"
+        assert p.n == 2997166
+        assert p.degeneracy == 253
+        assert p.tau == 74
+
+    def test_case_insensitive(self):
+        assert load_dataset("na") is load_dataset("NA")
+
+
+class TestProxies:
+    def test_caching_returns_same_object(self):
+        assert load_dataset("WE") is load_dataset("WE")
+
+    @pytest.mark.parametrize("name", ["NA", "FB", "WE", "DB", "YO"])
+    def test_proxies_are_simple_nonempty(self, name):
+        g = load_dataset(name)
+        assert g.n > 100
+        assert g.m > g.n  # denser than a tree
+        # simplicity is guaranteed by Graph, but check no isolated explosion
+        assert sum(1 for v in g.vertices() if g.degree(v) == 0) < g.n // 10
+
+    def test_condition_pattern_mirrors_paper(self):
+        """WE and DB fail Theorem 2's condition (as in the paper); most
+        social proxies satisfy it."""
+        assert not graph_stats(load_dataset("WE")).satisfies_condition
+        assert not graph_stats(load_dataset("DB")).satisfies_condition
+        satisfied = sum(
+            graph_stats(load_dataset(name)).satisfies_condition
+            for name in DATASET_NAMES
+        )
+        assert satisfied >= 12
+
+    def test_social_proxy_plexes_planted(self):
+        g = social_proxy(120, 4, 0.4, 30, 200, seed=3,
+                         plexes=2, plex_size=8, plex_missing=2)
+        assert g.n == 120
+
+
+class TestDeterminism:
+    def test_rebuild_identical(self):
+        from repro.graph.generators.dataset_suite import _BUILDERS
+
+        a = _BUILDERS["YO"]()
+        b = _BUILDERS["YO"]()
+        assert sorted(a.edges()) == sorted(b.edges())

@@ -1,0 +1,159 @@
+"""Unit tests for the random/structured graph generators."""
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.graph.generators import (
+    barabasi_albert,
+    complete_multipartite,
+    erdos_renyi_gnm,
+    erdos_renyi_gnp,
+    erdos_renyi_with_density,
+    grid_2d,
+    holme_kim,
+    moon_moser,
+    overlapping_communities,
+    planted_cliques,
+    random_2_plex,
+    random_3_plex,
+    relaxed_caveman,
+    ring_of_cliques,
+    web_graph,
+)
+from repro.graph.plex import is_t_plex
+from repro.graph.triangles import triangle_count
+
+
+class TestErdosRenyi:
+    def test_gnm_exact_edge_count(self):
+        g = erdos_renyi_gnm(30, 100, seed=1)
+        assert g.n == 30
+        assert g.m == 100
+
+    def test_gnm_dense_regime(self):
+        g = erdos_renyi_gnm(12, 60, seed=2)  # > 1/3 of max edges
+        assert g.m == 60
+
+    def test_gnm_reproducible(self):
+        a = erdos_renyi_gnm(25, 80, seed=7)
+        b = erdos_renyi_gnm(25, 80, seed=7)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_gnm_bad_m(self):
+        with pytest.raises(InvalidParameterError):
+            erdos_renyi_gnm(4, 10, seed=0)
+
+    def test_gnp_extremes(self):
+        assert erdos_renyi_gnp(10, 0.0, seed=1).m == 0
+        assert erdos_renyi_gnp(10, 1.0, seed=1).m == 45
+
+    def test_gnp_probability_range(self):
+        with pytest.raises(InvalidParameterError):
+            erdos_renyi_gnp(5, 1.5, seed=0)
+
+    def test_gnp_expected_density(self):
+        g = erdos_renyi_gnp(200, 0.1, seed=3)
+        expected = 0.1 * 199 * 200 / 2
+        assert abs(g.m - expected) < 0.25 * expected
+
+    def test_with_density(self):
+        g = erdos_renyi_with_density(100, 5.0, seed=4)
+        assert g.m == 500
+
+
+class TestBarabasiAlbert:
+    def test_size_and_connectivity(self):
+        g = barabasi_albert(100, 3, seed=5)
+        assert g.n == 100
+        # Every late vertex attaches to exactly k distinct targets.
+        assert g.m == 3 + 3 * (100 - 4)
+        assert all(g.degree(v) >= 1 for v in g.vertices())
+
+    def test_bad_parameters(self):
+        with pytest.raises(InvalidParameterError):
+            barabasi_albert(3, 3, seed=0)
+        with pytest.raises(InvalidParameterError):
+            barabasi_albert(10, 0, seed=0)
+
+    def test_hub_formation(self):
+        g = barabasi_albert(300, 2, seed=6)
+        degrees = sorted(g.degrees(), reverse=True)
+        # Preferential attachment should produce a pronounced hub.
+        assert degrees[0] >= 4 * (2 * g.m / g.n)
+
+    def test_holme_kim_more_triangles_than_ba(self):
+        ba = barabasi_albert(300, 4, seed=7)
+        hk = holme_kim(300, 4, 0.8, seed=7)
+        assert triangle_count(hk) > triangle_count(ba)
+
+    def test_holme_kim_probability_range(self):
+        with pytest.raises(InvalidParameterError):
+            holme_kim(20, 2, 1.5, seed=0)
+
+
+class TestStructured:
+    def test_moon_moser_clique_count_structure(self):
+        g = moon_moser(3)
+        assert g.n == 9
+        # complete 3-partite: each vertex adjacent to 6 others
+        assert all(g.degree(v) == 6 for v in g.vertices())
+
+    def test_moon_moser_bad(self):
+        with pytest.raises(InvalidParameterError):
+            moon_moser(0)
+
+    def test_complete_multipartite(self):
+        g = complete_multipartite([2, 3])
+        assert g.n == 5
+        assert g.m == 6
+
+    def test_random_plexes(self):
+        for seed in range(5):
+            g2 = random_2_plex(8, seed=seed)
+            assert is_t_plex(set(g2.vertices()), g2.adj, 2)
+            g3 = random_3_plex(9, seed=seed)
+            assert is_t_plex(set(g3.vertices()), g3.adj, 3)
+
+    def test_ring_of_cliques(self):
+        g = ring_of_cliques(4, 3)
+        assert g.n == 12
+        assert g.m == 4 * 3 + 4  # 4 triangles + 4 bridges
+
+    def test_ring_of_cliques_bad(self):
+        with pytest.raises(InvalidParameterError):
+            ring_of_cliques(2, 3)
+
+    def test_relaxed_caveman_size(self):
+        g = relaxed_caveman(5, 4, 0.2, seed=8)
+        assert g.n == 20
+
+    def test_grid(self):
+        g = grid_2d(3, 4)
+        assert g.n == 12
+        assert g.m == 3 * 3 + 2 * 4  # horizontal + vertical
+
+    def test_grid_diagonals(self):
+        g = grid_2d(3, 3, diagonals=True)
+        assert g.m == 12 + 8
+
+    def test_planted_cliques_contains_cliques(self):
+        g = planted_cliques(30, 3, 5, 20, seed=9)
+        assert g.n == 30
+        assert g.m >= 3  # at least some structure
+
+
+class TestDomainGenerators:
+    def test_web_graph_size(self):
+        g = web_graph(200, 3, hub_fraction=0.05, clique_size=6,
+                      num_cliques=5, seed=10)
+        assert g.n == 200
+        assert g.m > 0
+
+    def test_overlapping_communities(self):
+        g = overlapping_communities(150, 25, 6, 1.5, 0.9, 30, seed=11)
+        assert g.n == 150
+        assert triangle_count(g) > 0
+
+    def test_overlapping_communities_bad(self):
+        with pytest.raises(InvalidParameterError):
+            overlapping_communities(10, 0, 5, 1.0, 0.5, 0, seed=0)

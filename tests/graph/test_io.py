@@ -1,0 +1,119 @@
+"""Unit tests for graph readers/writers (round trips + malformed input)."""
+
+import pytest
+
+from repro.exceptions import GraphFormatError
+from repro.graph.builders import complete_graph
+from repro.graph.generators import erdos_renyi_gnm
+from repro.graph.io import (
+    load_graph,
+    read_dimacs,
+    read_edge_list,
+    read_json,
+    read_metis,
+    write_dimacs,
+    write_edge_list,
+    write_json,
+    write_metis,
+)
+
+
+@pytest.fixture()
+def sample():
+    return erdos_renyi_gnm(15, 40, seed=8)
+
+
+class TestEdgeList:
+    def test_round_trip(self, tmp_path, sample):
+        path = tmp_path / "g.txt"
+        write_edge_list(sample, path)
+        loaded = read_edge_list(path)
+        # Labels are strings after reading; compare canonical edge sets.
+        edges = {tuple(sorted((int(loaded.labels[u]), int(loaded.labels[v]))))
+                 for u, v in loaded.graph.edges()}
+        assert edges == set(sample.edges())
+
+    def test_comments_and_blank_lines(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("# comment\n\n% other\n0 1\n1 2 99\n")
+        lg = read_edge_list(path)
+        assert lg.graph.m == 2  # trailing weight column ignored
+
+    def test_malformed_line(self, tmp_path):
+        path = tmp_path / "g.txt"
+        path.write_text("justonetoken\n")
+        with pytest.raises(GraphFormatError):
+            read_edge_list(path)
+
+    def test_header_written(self, tmp_path, sample):
+        path = tmp_path / "g.txt"
+        write_edge_list(sample, path, header="hello")
+        assert path.read_text().startswith("# hello")
+
+
+class TestDimacs:
+    def test_round_trip(self, tmp_path, sample):
+        path = tmp_path / "g.col"
+        write_dimacs(sample, path)
+        loaded = read_dimacs(path)
+        assert sorted(loaded.edges()) == sorted(sample.edges())
+        assert loaded.n == sample.n
+
+    def test_missing_header(self, tmp_path):
+        path = tmp_path / "g.col"
+        path.write_text("e 1 2\n")
+        with pytest.raises(GraphFormatError):
+            read_dimacs(path)
+
+    def test_edge_out_of_range(self, tmp_path):
+        path = tmp_path / "g.col"
+        path.write_text("p edge 2 1\ne 1 5\n")
+        with pytest.raises(GraphFormatError):
+            read_dimacs(path)
+
+
+class TestMetis:
+    def test_round_trip(self, tmp_path, sample):
+        path = tmp_path / "g.metis"
+        write_metis(sample, path)
+        loaded = read_metis(path)
+        assert sorted(loaded.edges()) == sorted(sample.edges())
+
+    def test_wrong_line_count(self, tmp_path):
+        path = tmp_path / "g.metis"
+        path.write_text("3 1\n2\n")
+        with pytest.raises(GraphFormatError):
+            read_metis(path)
+
+
+class TestJson:
+    def test_round_trip(self, tmp_path, sample):
+        path = tmp_path / "g.json"
+        write_json(sample, path)
+        loaded = read_json(path)
+        assert sorted(loaded.edges()) == sorted(sample.edges())
+
+    def test_missing_keys(self, tmp_path):
+        path = tmp_path / "g.json"
+        path.write_text("{}")
+        with pytest.raises(GraphFormatError):
+            read_json(path)
+
+
+class TestLoadGraph:
+    def test_by_suffix(self, tmp_path):
+        g = complete_graph(4)
+        for suffix, writer in [
+            (".txt", write_edge_list), (".col", write_dimacs),
+            (".metis", write_metis), (".json", write_json),
+        ]:
+            path = tmp_path / f"g{suffix}"
+            writer(g, path)
+            loaded = load_graph(path)
+            assert loaded.m == 6
+
+    def test_unknown_format(self, tmp_path):
+        path = tmp_path / "g.txt"
+        write_edge_list(complete_graph(3), path)
+        with pytest.raises(GraphFormatError):
+            load_graph(path, fmt="bogus")

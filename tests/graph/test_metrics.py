@@ -1,0 +1,80 @@
+"""Unit tests for graph statistics and Theorem 2's condition."""
+
+import math
+
+import pytest
+
+from repro.graph.adjacency import Graph
+from repro.graph.builders import complete_graph, path_graph
+from repro.graph.generators import erdos_renyi_gnm
+from repro.graph.metrics import (
+    GraphStats,
+    graph_stats,
+    h_index,
+    theoretical_complexities,
+)
+
+
+class TestHIndex:
+    def test_complete_graph(self):
+        assert h_index(complete_graph(6)) == 5
+
+    def test_path(self):
+        assert h_index(path_graph(10)) == 2
+
+    def test_empty(self):
+        assert h_index(Graph(5)) == 0
+
+
+class TestGraphStats:
+    def test_complete_graph_stats(self):
+        s = graph_stats(complete_graph(6))
+        assert s.n == 6
+        assert s.m == 15
+        assert s.degeneracy == 5
+        assert s.tau == 4
+        assert s.triangles == 20
+        assert s.max_degree == 5
+        assert s.density == pytest.approx(2.5)
+
+    def test_condition_threshold_formula(self):
+        s = GraphStats(n=100, m=1000, degeneracy=30, tau=10, density=10.0,
+                       h_index=20, triangles=0, max_degree=40)
+        expected = 10 + 3 * math.log(10) / math.log(3)
+        assert s.condition_threshold == pytest.approx(expected)
+        assert s.satisfies_condition  # 30 >= ~16.3
+
+    def test_condition_fails_when_tau_close_to_delta(self):
+        s = GraphStats(n=100, m=300, degeneracy=11, tau=10, density=3.0,
+                       h_index=12, triangles=0, max_degree=15)
+        assert not s.satisfies_condition
+
+    def test_condition_requires_delta_at_least_3(self):
+        s = GraphStats(n=10, m=10, degeneracy=2, tau=0, density=1.0,
+                       h_index=3, triangles=0, max_degree=4)
+        assert not s.satisfies_condition
+
+    def test_zero_density_threshold(self):
+        s = GraphStats(n=5, m=0, degeneracy=0, tau=0, density=0.0,
+                       h_index=0, triangles=0, max_degree=0)
+        assert s.condition_threshold == 0.0
+
+
+class TestTheoreticalComplexities:
+    def test_hbbmc_bound_smallest_under_condition(self):
+        g = erdos_renyi_gnm(300, 3000, seed=1)
+        s = graph_stats(g)
+        bounds = theoretical_complexities(s)
+        if s.satisfies_condition:
+            assert bounds["HBBMC"] <= bounds["BK_Degen"] + 1e-9
+
+    def test_all_frameworks_present(self):
+        bounds = theoretical_complexities(graph_stats(complete_graph(5)))
+        assert set(bounds) == {
+            "BK", "BK_Pivot", "BK_Degree", "BK_Degen", "BK_Rcd", "BK_Fac",
+            "EBBMC", "HBBMC",
+        }
+
+    def test_pivot_improves_on_plain_bk(self):
+        bounds = theoretical_complexities(graph_stats(erdos_renyi_gnm(100, 800, seed=2)))
+        assert bounds["BK_Pivot"] <= bounds["BK"]

@@ -1,0 +1,99 @@
+"""Unit tests for t-plex structure and complement decomposition."""
+
+import pytest
+
+from repro.exceptions import NotAPlexError
+from repro.graph.builders import complete_graph
+from repro.graph.generators import random_2_plex, random_3_plex
+from repro.graph.plex import (
+    complement_adjacency,
+    decompose_complement,
+    is_t_plex,
+    plex_level,
+)
+
+
+class TestPredicates:
+    def test_clique_is_1_plex(self):
+        g = complete_graph(5)
+        assert is_t_plex(g.vertices(), g.adj, 1)
+        assert plex_level(g.vertices(), g.adj) == 1
+
+    def test_clique_minus_edge_is_2_plex(self):
+        g = complete_graph(5)
+        g.remove_edge(0, 1)
+        vs = set(g.vertices())
+        assert not is_t_plex(vs, g.adj, 1)
+        assert is_t_plex(vs, g.adj, 2)
+        assert plex_level(vs, g.adj) == 2
+
+    def test_empty_set(self):
+        g = complete_graph(3)
+        assert is_t_plex(set(), g.adj, 1)
+        assert plex_level(set(), g.adj) == 1
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_random_generators_produce_plexes(self, seed):
+        g2 = random_2_plex(10, seed=seed)
+        assert is_t_plex(set(g2.vertices()), g2.adj, 2)
+        g3 = random_3_plex(12, seed=seed)
+        assert is_t_plex(set(g3.vertices()), g3.adj, 3)
+
+
+class TestComplement:
+    def test_complement_adjacency(self):
+        g = complete_graph(4)
+        g.remove_edge(1, 2)
+        comp = complement_adjacency({0, 1, 2, 3}, g.adj)
+        assert comp == {0: set(), 1: {2}, 2: {1}, 3: set()}
+
+    def test_decompose_matching(self):
+        g = complete_graph(6)
+        g.remove_edge(0, 1)
+        g.remove_edge(2, 3)
+        structure = decompose_complement(set(g.vertices()), g.adj)
+        assert structure.universal == [4, 5]
+        assert sorted(sorted(p) for p in structure.paths) == [[0, 1], [2, 3]]
+        assert structure.cycles == []
+        assert structure.plex_level == 2
+
+    def test_decompose_path_and_cycle(self):
+        g = complete_graph(8)
+        # complement path 0-1-2 and complement cycle 3-4-5-3
+        g.remove_edge(0, 1)
+        g.remove_edge(1, 2)
+        g.remove_edge(3, 4)
+        g.remove_edge(4, 5)
+        g.remove_edge(3, 5)
+        structure = decompose_complement(set(g.vertices()), g.adj)
+        assert structure.universal == [6, 7]
+        assert [sorted(p) for p in structure.paths] == [[0, 1, 2]]
+        assert [sorted(c) for c in structure.cycles] == [[3, 4, 5]]
+        assert structure.plex_level == 3
+
+    def test_decompose_long_cycle_order(self):
+        g = complete_graph(6)
+        cycle = [0, 1, 2, 3, 4, 5]
+        for i in range(6):
+            g.remove_edge(cycle[i], cycle[(i + 1) % 6])
+        structure = decompose_complement(set(g.vertices()), g.adj)
+        assert len(structure.cycles) == 1
+        walked = structure.cycles[0]
+        # The walk visits consecutive complement-neighbours.
+        for a, b in zip(walked, walked[1:] + walked[:1]):
+            assert not g.has_edge(a, b)
+
+    def test_not_a_plex_raises(self):
+        g = complete_graph(5)
+        for u, v in [(0, 1), (0, 2), (0, 3)]:
+            g.remove_edge(u, v)
+        with pytest.raises(NotAPlexError):
+            decompose_complement(set(g.vertices()), g.adj)
+
+    def test_restricted_to_subset(self):
+        """Adjacency outside the vertex set must be ignored."""
+        g = complete_graph(6)
+        g.remove_edge(0, 1)
+        structure = decompose_complement({0, 1, 2}, g.adj)
+        assert structure.universal == [2]
+        assert [sorted(p) for p in structure.paths] == [[0, 1]]

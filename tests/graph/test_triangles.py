@@ -1,0 +1,71 @@
+"""Unit tests for triangle listing and edge support."""
+
+import pytest
+
+from repro.graph.adjacency import Graph
+from repro.graph.builders import complete_graph, cycle_graph, path_graph
+from repro.graph.generators import erdos_renyi_gnm
+from repro.graph.triangles import (
+    edge_support,
+    iter_triangles,
+    local_triangle_counts,
+    triangle_count,
+)
+
+
+class TestTriangleCount:
+    def test_complete_graph(self):
+        # C(n, 3) triangles in K_n.
+        assert triangle_count(complete_graph(6)) == 20
+
+    def test_triangle_free(self):
+        assert triangle_count(path_graph(10)) == 0
+        assert triangle_count(cycle_graph(8)) == 0
+
+    def test_single_triangle(self):
+        assert triangle_count(complete_graph(3)) == 1
+
+    def test_empty(self):
+        assert triangle_count(Graph(0)) == 0
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_matches_networkx(self, seed):
+        nx = pytest.importorskip("networkx")
+        from repro.graph.builders import to_networkx
+
+        g = erdos_renyi_gnm(40, 250, seed=seed)
+        assert triangle_count(g) == sum(nx.triangles(to_networkx(g)).values()) // 3
+
+
+class TestIterTriangles:
+    def test_each_triangle_once(self):
+        g = complete_graph(5)
+        triangles = list(iter_triangles(g))
+        assert len(triangles) == 10
+        assert len({frozenset(t) for t in triangles}) == 10
+
+    def test_triangles_are_triangles(self):
+        g = erdos_renyi_gnm(30, 200, seed=7)
+        for a, b, c in iter_triangles(g):
+            assert g.has_edge(a, b) and g.has_edge(a, c) and g.has_edge(b, c)
+
+
+class TestEdgeSupport:
+    def test_complete_graph_support(self):
+        g = complete_graph(5)
+        support = edge_support(g)
+        assert set(support.values()) == {3}
+        assert len(support) == 10
+
+    def test_support_equals_common_neighbors(self):
+        g = erdos_renyi_gnm(25, 120, seed=9)
+        support = edge_support(g)
+        for (u, v), s in support.items():
+            assert s == len(g.common_neighbors(u, v))
+
+
+class TestLocalCounts:
+    def test_local_counts_sum(self):
+        g = erdos_renyi_gnm(30, 180, seed=11)
+        counts = local_triangle_counts(g)
+        assert sum(counts) == 3 * triangle_count(g)

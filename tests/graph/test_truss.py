@@ -1,0 +1,72 @@
+"""Unit tests for the truss-based edge ordering."""
+
+import pytest
+
+from repro.graph.adjacency import Graph
+from repro.graph.builders import complete_graph, cycle_graph, path_graph
+from repro.graph.coreness import degeneracy
+from repro.graph.generators import erdos_renyi_gnm, moon_moser
+from repro.graph.truss import candidate_size_bound, truss_edge_ordering, truss_number
+
+
+class TestOrderingBasics:
+    def test_order_is_permutation_of_edges(self):
+        g = erdos_renyi_gnm(20, 80, seed=0)
+        ordering = truss_edge_ordering(g)
+        assert sorted(ordering.order) == sorted(g.edges())
+        assert len(ordering.rank) == g.m
+        assert sorted(ordering.rank.values()) == list(range(g.m))
+
+    def test_empty_graph(self):
+        ordering = truss_edge_ordering(Graph(5))
+        assert ordering.order == []
+        assert ordering.tau == 0
+
+    def test_triangle_free_tau_zero(self):
+        assert truss_number(path_graph(10)) == 0
+        assert truss_number(cycle_graph(9)) == 0
+
+    def test_complete_graph_tau(self):
+        # In K_n the first removed edge has n-2 common neighbours.
+        assert truss_number(complete_graph(6)) == 4
+
+
+class TestTauProperties:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_tau_strictly_below_degeneracy_on_triangle_graphs(self, seed):
+        """Paper Section III-B: tau < delta (when the graph has edges)."""
+        g = erdos_renyi_gnm(40, 220, seed=seed)
+        if g.m == 0:
+            pytest.skip("no edges")
+        assert truss_number(g) < max(degeneracy(g), 1) or truss_number(g) == 0
+
+    def test_tau_equals_candidate_size_bound(self):
+        """tau is exactly the max top-level instance size under the order."""
+        for seed in range(4):
+            g = erdos_renyi_gnm(25, 140, seed=seed)
+            ordering = truss_edge_ordering(g)
+            assert ordering.tau == candidate_size_bound(g, ordering.rank)
+
+    def test_moon_moser(self):
+        g = moon_moser(3)
+        # Every edge of K_{3,3,3} has 4 common neighbours initially; the
+        # peel does even better because supports drop as edges leave.
+        ordering = truss_edge_ordering(g)
+        assert ordering.tau == candidate_size_bound(g, ordering.rank)
+        assert ordering.tau < degeneracy(g) == 6
+
+
+class TestGreedyInvariant:
+    def test_prefix_supports_bounded_by_tau(self):
+        """When edge e is processed, its remaining support is <= tau."""
+        g = erdos_renyi_gnm(20, 100, seed=3)
+        ordering = truss_edge_ordering(g)
+        rank = ordering.rank
+        for (u, v), r in rank.items():
+            remaining = 0
+            for w in g.common_neighbors(u, v):
+                ra = rank[(u, w) if u < w else (w, u)]
+                rb = rank[(v, w) if v < w else (w, v)]
+                if ra > r and rb > r:
+                    remaining += 1
+            assert remaining <= ordering.tau

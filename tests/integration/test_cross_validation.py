@@ -1,0 +1,71 @@
+"""Integration: every registered algorithm produces the identical clique set.
+
+This is the central correctness statement of the reproduction: 23 algorithm
+configurations — three branching frameworks, five vertex strategies, graph
+reduction, early termination, three edge orderings and reverse search —
+must agree exactly on every corpus graph, and agree with two independent
+oracles (bitmask brute force; networkx's Bron-Kerbosch).
+"""
+
+import pytest
+
+from repro import ALGORITHMS, maximal_cliques
+from repro.graph.builders import to_networkx
+from repro.graph.generators import erdos_renyi_gnm
+from repro.verify import BRUTE_FORCE_LIMIT, brute_force_maximal_cliques
+
+
+def _canon(cliques):
+    return sorted(tuple(sorted(c)) for c in cliques)
+
+
+def _reference(g):
+    nx = pytest.importorskip("networkx")
+    if g.n == 0:
+        return []
+    return _canon(nx.find_cliques(to_networkx(g)))
+
+
+class TestCorpusAgreement:
+    def test_all_algorithms_agree_on_corpus(self, corpus):
+        for name, g in corpus:
+            reference = _reference(g)
+            for algorithm in ALGORITHMS:
+                got = maximal_cliques(g, algorithm=algorithm)
+                assert got == reference, f"{algorithm} differs on {name}"
+
+    def test_brute_force_agrees_on_small_corpus(self, corpus):
+        for name, g in corpus:
+            if g.n > BRUTE_FORCE_LIMIT:
+                continue
+            assert brute_force_maximal_cliques(g) == _reference(g), name
+
+
+class TestMediumGraphAgreement:
+    @pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+    def test_medium_random(self, algorithm, medium_random):
+        reference = _reference(medium_random)
+        assert maximal_cliques(medium_random, algorithm=algorithm) == reference
+
+
+class TestEveryCliqueValid:
+    @pytest.mark.parametrize("seed", range(3))
+    def test_hbbmc_output_is_valid(self, seed):
+        from repro.verify import assert_valid_enumeration
+
+        g = erdos_renyi_gnm(40, 260, seed=seed)
+        cliques = maximal_cliques(g, algorithm="hbbmc++")
+        reference = _reference(g)
+        assert_valid_enumeration(g, cliques, reference=reference)
+
+
+class TestCounterConsistency:
+    def test_emitted_matches_output_count(self):
+        from repro.core.result import CliqueCollector
+        from repro.api import enumerate_to_sink
+
+        g = erdos_renyi_gnm(30, 160, seed=5)
+        for algorithm in ("hbbmc++", "rdegen", "ebbmc", "rrcd"):
+            sink = CliqueCollector()
+            counters = enumerate_to_sink(g, sink, algorithm=algorithm)
+            assert counters.emitted == len(sink), algorithm

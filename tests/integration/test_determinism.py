@@ -1,0 +1,58 @@
+"""Determinism: identical inputs must give identical outputs and counters.
+
+The benchmark tables compare counter values across configurations, so runs
+must be exactly reproducible within a process and across processes (all
+tie-breaks in pivots, orderings and walks are by vertex/edge id).
+"""
+
+import pytest
+
+from repro import ALGORITHMS, maximal_cliques
+from repro.api import enumerate_to_sink
+from repro.core.result import CliqueCollector
+from repro.graph.generators import erdos_renyi_gnm
+from repro.graph.truss import truss_edge_ordering
+
+DETERMINISTIC_SET = ("hbbmc++", "ebbmc", "rdegen", "rrcd", "rfac", "bk-pivot")
+
+
+class TestRunDeterminism:
+    @pytest.mark.parametrize("algorithm", DETERMINISTIC_SET)
+    def test_same_output_stream_twice(self, algorithm):
+        g = erdos_renyi_gnm(35, 220, seed=17)
+        first = CliqueCollector()
+        second = CliqueCollector()
+        c1 = enumerate_to_sink(g, first, algorithm=algorithm)
+        c2 = enumerate_to_sink(g, second, algorithm=algorithm)
+        assert first.cliques == second.cliques  # identical order, not just set
+        assert c1.as_dict() == c2.as_dict()
+
+    def test_truss_ordering_stable(self):
+        g = erdos_renyi_gnm(30, 180, seed=18)
+        a = truss_edge_ordering(g)
+        b = truss_edge_ordering(g)
+        assert a.order == b.order
+        assert a.tau == b.tau
+
+    def test_graph_generation_stable_across_calls(self):
+        a = erdos_renyi_gnm(50, 300, seed=19)
+        b = erdos_renyi_gnm(50, 300, seed=19)
+        assert sorted(a.edges()) == sorted(b.edges())
+
+
+class TestCountersAreMeaningful:
+    def test_counters_scale_with_input(self):
+        small = erdos_renyi_gnm(20, 80, seed=20)
+        large = erdos_renyi_gnm(80, 800, seed=20)
+        from repro import run_with_report
+
+        c_small = run_with_report(small, algorithm="hbbmc++").counters
+        c_large = run_with_report(large, algorithm="hbbmc++").counters
+        assert c_large.total_calls > c_small.total_calls
+
+    @pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+    def test_every_algorithm_is_idempotent(self, algorithm):
+        g = erdos_renyi_gnm(18, 70, seed=21)
+        assert maximal_cliques(g, algorithm=algorithm) == maximal_cliques(
+            g, algorithm=algorithm
+        )

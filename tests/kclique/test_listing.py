@@ -1,0 +1,72 @@
+"""Unit tests for the k-clique listing substrate (EBBkC-lite)."""
+
+import math
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.graph.adjacency import Graph
+from repro.graph.builders import complete_graph, path_graph
+from repro.graph.generators import erdos_renyi_gnm, moon_moser
+from repro.kclique import count_k_cliques, ebbkc_k_cliques, k_cliques, vertex_k_cliques
+
+
+class TestSmallCases:
+    def test_k1_is_vertices(self):
+        g = path_graph(4)
+        assert k_cliques(g, 1) == [(0,), (1,), (2,), (3,)]
+
+    def test_k2_is_edges(self):
+        g = path_graph(4)
+        assert k_cliques(g, 2) == [(0, 1), (1, 2), (2, 3)]
+
+    def test_k3_triangles(self):
+        g = complete_graph(4)
+        assert len(k_cliques(g, 3)) == 4
+
+    def test_bad_k(self):
+        with pytest.raises(InvalidParameterError):
+            k_cliques(complete_graph(3), 0)
+
+    def test_bad_method(self):
+        with pytest.raises(InvalidParameterError):
+            k_cliques(complete_graph(3), 2, method="bogus")
+
+    def test_empty_graph(self):
+        assert k_cliques(Graph(0), 3) == []
+
+
+class TestCompleteGraphCounts:
+    @pytest.mark.parametrize("k", [1, 2, 3, 4, 5])
+    def test_binomial(self, k):
+        g = complete_graph(7)
+        assert count_k_cliques(g, k) == math.comb(7, k)
+
+    def test_k_larger_than_n(self):
+        assert count_k_cliques(complete_graph(3), 5) == 0
+
+
+class TestMethodsAgree:
+    @pytest.mark.parametrize("seed", range(5))
+    @pytest.mark.parametrize("k", [3, 4, 5])
+    def test_edge_vs_vertex(self, seed, k):
+        g = erdos_renyi_gnm(25, 130, seed=seed)
+        assert k_cliques(g, k, method="ebbkc") == k_cliques(g, k, method="vertex")
+
+    def test_moon_moser_k3(self):
+        g = moon_moser(3)
+        # one vertex per part: 3^3 triangles
+        assert count_k_cliques(g, 3) == 27
+
+    def test_no_duplicates(self):
+        g = erdos_renyi_gnm(20, 120, seed=9)
+        out = []
+        ebbkc_k_cliques(g, 3, out.append)
+        assert len(out) == len({frozenset(c) for c in out})
+
+    def test_sink_receives_actual_cliques(self):
+        g = erdos_renyi_gnm(20, 120, seed=10)
+        out = []
+        vertex_k_cliques(g, 4, out.append)
+        for clique in out:
+            assert g.is_clique(clique)

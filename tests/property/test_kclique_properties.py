@@ -1,0 +1,63 @@
+"""Property-based tests tying k-clique listing to maximal clique results."""
+
+from itertools import combinations
+
+from hypothesis import given, settings, strategies as st
+
+from repro import maximal_cliques
+from repro.graph.adjacency import Graph
+from repro.kclique import count_k_cliques, k_cliques
+
+
+@st.composite
+def small_graphs(draw, max_n=11):
+    n = draw(st.integers(min_value=0, max_value=max_n))
+    g = Graph(n)
+    if n >= 2:
+        pairs = [(u, v) for u in range(n) for v in range(u + 1, n)]
+        chosen = draw(st.lists(st.sampled_from(pairs), unique=True,
+                               max_size=len(pairs)))
+        for u, v in chosen:
+            g.add_edge(u, v)
+    return g
+
+
+def _brute_force_k_cliques(g: Graph, k: int):
+    return sorted(
+        tuple(c) for c in combinations(range(g.n), k) if g.is_clique(c)
+    )
+
+
+@given(small_graphs(), st.integers(min_value=1, max_value=5))
+@settings(max_examples=50, deadline=None)
+def test_k_cliques_match_brute_force(g, k):
+    assert k_cliques(g, k, method="ebbkc") == _brute_force_k_cliques(g, k)
+
+
+@given(small_graphs(), st.integers(min_value=1, max_value=5))
+@settings(max_examples=50, deadline=None)
+def test_methods_agree(g, k):
+    assert count_k_cliques(g, k, method="ebbkc") == count_k_cliques(
+        g, k, method="vertex"
+    )
+
+
+@given(small_graphs())
+@settings(max_examples=40, deadline=None)
+def test_maximal_cliques_are_k_cliques(g):
+    """Every maximal clique of size k appears in the k-clique listing."""
+    for clique in maximal_cliques(g):
+        k = len(clique)
+        assert tuple(sorted(clique)) in set(k_cliques(g, k))
+
+
+@given(small_graphs())
+@settings(max_examples=40, deadline=None)
+def test_clique_counts_monotone_under_edge_removal(g):
+    """Removing an edge never increases the triangle (3-clique) count."""
+    before = count_k_cliques(g, 3)
+    edges = list(g.edges())
+    if not edges:
+        return
+    g.remove_edge(*edges[0])
+    assert count_k_cliques(g, 3) <= before

@@ -1,0 +1,90 @@
+"""Property-based tests for the early-termination machinery."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.early_termination import (
+    count_plex_cliques,
+    cycle_partial_cliques,
+    path_partial_cliques,
+    plex_branch_cliques,
+)
+from repro.core.reduction import reduce_graph
+from repro.graph.builders import complete_graph
+from repro.verify import brute_force_maximal_cliques
+
+
+def _canon(cliques):
+    return sorted(tuple(sorted(c)) for c in cliques)
+
+
+@st.composite
+def plex_graphs(draw):
+    """K_n minus a random union of disjoint paths/cycles (a 3-plex)."""
+    n = draw(st.integers(min_value=1, max_value=12))
+    g = complete_graph(n)
+    vertices = list(range(n))
+    draw_order = draw(st.permutations(vertices))
+    i = 0
+    while i < n:
+        remaining = n - i
+        kind = draw(st.sampled_from(["skip", "path", "cycle"]))
+        if kind == "cycle" and remaining >= 3:
+            size = draw(st.integers(min_value=3, max_value=min(6, remaining)))
+            block = draw_order[i:i + size]
+            for j in range(size):
+                g.remove_edge(block[j], block[(j + 1) % size])
+            i += size
+        elif kind == "path" and remaining >= 2:
+            size = draw(st.integers(min_value=2, max_value=min(5, remaining)))
+            block = draw_order[i:i + size]
+            for j in range(size - 1):
+                g.remove_edge(block[j], block[j + 1])
+            i += size
+        else:
+            i += 1
+    return g
+
+
+@given(plex_graphs())
+@settings(max_examples=60, deadline=None)
+def test_plex_construction_matches_brute_force(g):
+    vs = set(g.vertices())
+    assert _canon(plex_branch_cliques(vs, g.adj)) == _canon(
+        brute_force_maximal_cliques(g)
+    )
+
+
+@given(plex_graphs())
+@settings(max_examples=40, deadline=None)
+def test_count_matches_materialisation(g):
+    vs = set(g.vertices())
+    assert count_plex_cliques(vs, g.adj) == len(list(plex_branch_cliques(vs, g.adj)))
+
+
+@given(st.integers(min_value=1, max_value=14))
+@settings(max_examples=20, deadline=None)
+def test_path_mis_are_unique(n):
+    path = list(range(n))
+    sets = [frozenset(m) for m in path_partial_cliques(path)]
+    assert len(sets) == len(set(sets))
+
+
+@given(st.integers(min_value=3, max_value=14))
+@settings(max_examples=20, deadline=None)
+def test_cycle_mis_are_unique(n):
+    cycle = list(range(n))
+    sets = [frozenset(m) for m in cycle_partial_cliques(cycle)]
+    assert len(sets) == len(set(sets))
+
+
+@given(plex_graphs())
+@settings(max_examples=40, deadline=None)
+def test_reduction_sound_on_plexes(g):
+    result = reduce_graph(g)
+    rest = [
+        c for c in brute_force_maximal_cliques(result.graph)
+        if frozenset(c) not in result.suppressed
+    ]
+    assert _canon(list(result.emitted) + rest) == _canon(
+        brute_force_maximal_cliques(g)
+    )

@@ -1,0 +1,81 @@
+"""Property-based tests (hypothesis) for the core invariants."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro import maximal_cliques
+from repro.core.result import materialize
+from repro.graph.adjacency import Graph
+from repro.graph.coreness import degeneracy
+from repro.graph.truss import truss_edge_ordering
+from repro.verify import brute_force_maximal_cliques
+
+KEY_ALGORITHMS = ("hbbmc++", "ebbmc", "rdegen", "rrcd", "bk-pivot")
+
+
+@st.composite
+def small_graphs(draw, max_n=12):
+    n = draw(st.integers(min_value=0, max_value=max_n))
+    g = Graph(n)
+    if n >= 2:
+        pairs = [(u, v) for u in range(n) for v in range(u + 1, n)]
+        chosen = draw(st.lists(st.sampled_from(pairs), unique=True, max_size=len(pairs)))
+        for u, v in chosen:
+            g.add_edge(u, v)
+    return g
+
+
+@given(small_graphs())
+@settings(max_examples=60, deadline=None)
+def test_algorithms_match_brute_force(g):
+    reference = brute_force_maximal_cliques(g)
+    for algorithm in KEY_ALGORITHMS:
+        assert maximal_cliques(g, algorithm=algorithm) == reference
+
+
+@given(small_graphs())
+@settings(max_examples=60, deadline=None)
+def test_every_vertex_covered_by_some_maximal_clique(g):
+    cliques = maximal_cliques(g)
+    covered = {v for clique in cliques for v in clique}
+    assert covered == set(g.vertices())
+
+
+@given(small_graphs())
+@settings(max_examples=60, deadline=None)
+def test_no_clique_contains_another(g):
+    cliques = [frozenset(c) for c in maximal_cliques(g)]
+    for i, a in enumerate(cliques):
+        for b in cliques[i + 1:]:
+            assert not (a <= b or b <= a)
+
+
+@given(small_graphs())
+@settings(max_examples=60, deadline=None)
+def test_tau_at_most_degeneracy_bound(g):
+    """tau <= delta always; strictly smaller whenever there is an edge
+    in a graph with triangles (paper Section III-B)."""
+    ordering = truss_edge_ordering(g)
+    delta = degeneracy(g)
+    assert ordering.tau <= max(delta - 1, 0) or ordering.tau == 0
+
+
+@given(small_graphs())
+@settings(max_examples=40, deadline=None)
+def test_edge_ordering_covers_all_edges(g):
+    ordering = truss_edge_ordering(g)
+    assert sorted(ordering.order) == sorted(g.edges())
+
+
+@given(small_graphs(), st.integers(min_value=0, max_value=3))
+@settings(max_examples=40, deadline=None)
+def test_et_threshold_never_changes_answer(g, t):
+    base = maximal_cliques(g, algorithm="hbbmc++")
+    assert maximal_cliques(g, algorithm="hbbmc++", et_threshold=t) == base
+
+
+@given(small_graphs())
+@settings(max_examples=40, deadline=None)
+def test_materialize_idempotent(g):
+    cliques = maximal_cliques(g, sort=False)
+    once = materialize(cliques)
+    assert materialize(once) == once

@@ -1,0 +1,77 @@
+"""Unit tests for the top-level API and algorithm registry."""
+
+import pytest
+
+from repro import (
+    ALGORITHMS,
+    count_maximal_cliques,
+    enumerate_to_sink,
+    get_algorithm,
+    maximal_cliques,
+    run_with_report,
+)
+from repro.core.result import CliqueCollector
+from repro.exceptions import UnknownAlgorithmError
+from repro.graph.builders import complete_graph
+from repro.graph.generators import erdos_renyi_gnm
+
+
+class TestRegistry:
+    def test_all_paper_names_registered(self):
+        expected = {
+            "hbbmc++", "hbbmc+", "hbbmc", "ebbmc", "ebbmc++",
+            "ref++", "rcd++", "fac++",
+            "vbbmc-dgn", "hbbmc-dgn", "hbbmc-mdg",
+            "rref", "rdegen", "rrcd", "rfac",
+            "bk", "bk-pivot", "bk-ref", "bk-degen", "bk-degree",
+            "bk-rcd", "bk-fac", "reverse-search",
+        }
+        assert expected == set(ALGORITHMS)
+
+    def test_lookup_case_insensitive(self):
+        assert get_algorithm("HBBMC++").name == "hbbmc++"
+
+    def test_unknown_raises(self):
+        with pytest.raises(UnknownAlgorithmError):
+            get_algorithm("nope")
+
+    def test_specs_have_descriptions(self):
+        for spec in ALGORITHMS.values():
+            assert spec.description
+            assert spec.family in {"hybrid", "vertex", "edge", "reverse-search"}
+
+
+class TestMaximalCliques:
+    def test_default_sorted(self):
+        g = complete_graph(4)
+        assert maximal_cliques(g) == [(0, 1, 2, 3)]
+
+    def test_unsorted_keeps_stream_order(self):
+        g = erdos_renyi_gnm(10, 25, seed=1)
+        raw = maximal_cliques(g, sort=False)
+        assert sorted(tuple(sorted(c)) for c in raw) == maximal_cliques(g)
+
+    def test_count(self):
+        g = erdos_renyi_gnm(15, 60, seed=2)
+        assert count_maximal_cliques(g) == len(maximal_cliques(g))
+
+    def test_options_forwarded(self):
+        g = erdos_renyi_gnm(15, 60, seed=3)
+        a = maximal_cliques(g, algorithm="hbbmc++", et_threshold=1)
+        b = maximal_cliques(g, algorithm="hbbmc++")
+        assert a == b
+
+    def test_enumerate_to_sink_returns_counters(self):
+        sink = CliqueCollector()
+        counters = enumerate_to_sink(complete_graph(3), sink)
+        assert counters.emitted == 1
+
+
+class TestRunWithReport:
+    def test_report_fields(self):
+        g = erdos_renyi_gnm(20, 80, seed=4)
+        report = run_with_report(g, algorithm="rdegen")
+        assert report.algorithm == "rdegen"
+        assert report.clique_count > 0
+        assert report.seconds >= 0
+        assert report.counters.total_calls > 0

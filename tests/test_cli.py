@@ -1,0 +1,66 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.graph.builders import complete_graph
+from repro.graph.io import write_edge_list
+
+
+@pytest.fixture()
+def graph_file(tmp_path):
+    path = tmp_path / "g.txt"
+    write_edge_list(complete_graph(4), path)
+    return str(path)
+
+
+class TestEnumerate:
+    def test_enumerate_file(self, graph_file, capsys):
+        assert main(["enumerate", graph_file]) == 0
+        out = capsys.readouterr().out
+        assert len(out.strip().splitlines()) == 1  # K4: one clique
+
+    def test_limit(self, graph_file, capsys):
+        assert main(["enumerate", graph_file, "--limit", "0"]) == 0
+        assert capsys.readouterr().out.strip() == ""
+
+    def test_dataset_option(self, capsys):
+        assert main(["count", "--dataset", "WE", "-a", "rdegen"]) == 0
+        assert "cliques" in capsys.readouterr().out
+
+    def test_missing_input_errors(self):
+        with pytest.raises(SystemExit):
+            main(["enumerate"])
+
+
+class TestCount:
+    def test_single_algorithm(self, graph_file, capsys):
+        assert main(["count", graph_file, "-a", "hbbmc++"]) == 0
+        assert "hbbmc++" in capsys.readouterr().out
+
+
+class TestStats:
+    def test_stats_output(self, graph_file, capsys):
+        assert main(["stats", graph_file]) == 0
+        out = capsys.readouterr().out
+        assert "degeneracy = 3" in out
+        assert "Theorem 2" in out
+
+
+class TestListing:
+    def test_datasets(self, capsys):
+        assert main(["datasets"]) == 0
+        out = capsys.readouterr().out
+        assert "OR" in out and "orkut" not in out  # codes + categories
+
+    def test_algorithms(self, capsys):
+        assert main(["algorithms"]) == 0
+        out = capsys.readouterr().out
+        assert "hbbmc++" in out
+        assert "reverse-search" in out
+
+
+class TestVerify:
+    def test_verify_ok(self, graph_file, capsys):
+        assert main(["verify", graph_file]) == 0
+        assert "OK" in capsys.readouterr().out
