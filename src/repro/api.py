@@ -11,9 +11,17 @@ Typical usage::
 
 Every algorithm evaluated in the paper is registered under the name used
 there (lower-cased): ``hbbmc++``, ``hbbmc+``, ``hbbmc``, ``ebbmc``,
-``rref``, ``rdegen``, ``rrcd``, ``rfac``, ``ref++``, ``rcd++``, ``fac++``,
-``vbbmc-dgn``, ``hbbmc-dgn``, ``hbbmc-mdg``, the plain BK family, and the
-reverse-search oracle.
+``ebbmc++``, ``ref++``, ``rcd++``, ``fac++``, ``vbbmc-dgn``,
+``hbbmc-dgn``, ``hbbmc-mdg``, ``rref``, ``rdegen``, ``rrcd``, ``rfac``,
+the plain BK family (``bk``, ``bk-pivot``, ``bk-ref``, ``bk-degen``,
+``bk-degree``, ``bk-rcd``, ``bk-fac``) and the ``reverse-search`` oracle.
+(``tests/test_api.py`` asserts this roster matches ``ALGORITHMS`` so the
+two cannot drift.)
+
+Every branch-and-bound algorithm additionally accepts
+``backend="set" | "bitset"`` selecting the branch-state representation
+(Python sets vs ``int`` bitmasks, see :mod:`repro.graph.bitadj`); both
+backends emit identical clique sets.
 """
 
 from __future__ import annotations
@@ -141,7 +149,8 @@ def enumerate_to_sink(
     """Stream all maximal cliques of ``g`` into ``sink``.
 
     ``options`` are forwarded to the underlying framework (e.g.
-    ``et_threshold=2`` for registered hybrid variants).
+    ``et_threshold=2`` or ``backend="bitset"`` for registered
+    branch-and-bound variants).
     """
     spec = get_algorithm(algorithm)
     runner = partial(spec.runner, **options) if options else spec.runner

@@ -22,6 +22,7 @@ import heapq
 
 from repro.core.counters import Counters
 from repro.core.result import CliqueSink
+from repro.exceptions import InvalidParameterError
 from repro.graph.adjacency import Graph
 
 
@@ -39,9 +40,19 @@ def _lexicographic_completion(g: Graph, seed: set[int]) -> tuple[int, ...]:
 
 
 def reverse_search(
-    g: Graph, sink: CliqueSink, *, counters: Counters | None = None
+    g: Graph, sink: CliqueSink, *, counters: Counters | None = None,
+    backend: str = "set",
 ) -> Counters:
-    """Enumerate all maximal cliques in lexicographic order."""
+    """Enumerate all maximal cliques in lexicographic order.
+
+    Reverse search is priority-queue driven rather than branch-and-bound,
+    so it has no bitmask variant; ``backend`` is accepted for registry
+    uniformity but only ``"set"`` is valid.
+    """
+    if backend != "set":
+        raise InvalidParameterError(
+            f"reverse-search supports only backend='set', got {backend!r}"
+        )
     counters = counters if counters is not None else Counters()
     if g.n == 0:
         return counters

@@ -17,6 +17,8 @@ import sys
 import time
 
 from repro.api import ALGORITHMS, DEFAULT_ALGORITHM, maximal_cliques, run_with_report
+from repro.core.phases import BACKENDS
+from repro.exceptions import InvalidParameterError, UnknownAlgorithmError
 from repro.graph.adjacency import Graph
 from repro.graph.generators import DATASET_NAMES, load_dataset, paper_stats
 from repro.graph.io import load_graph
@@ -39,14 +41,17 @@ def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--format", choices=["edgelist", "dimacs", "metis", "json"],
                         default=None, help="input format (default: by suffix)")
     parser.add_argument("--algorithm", "-a", default=DEFAULT_ALGORITHM,
-                        choices=sorted(ALGORITHMS), metavar="NAME",
+                        metavar="NAME",
                         help=f"algorithm (default {DEFAULT_ALGORITHM}; "
                              f"see 'repro-mce algorithms')")
+    parser.add_argument("--backend", choices=BACKENDS, default="set",
+                        help="branch-state representation: Python sets or "
+                             "int bitmasks (default: set)")
 
 
 def cmd_enumerate(args: argparse.Namespace) -> int:
     g = _load(args)
-    cliques = maximal_cliques(g, algorithm=args.algorithm)
+    cliques = maximal_cliques(g, algorithm=args.algorithm, backend=args.backend)
     limit = args.limit if args.limit is not None else len(cliques)
     for clique in cliques[:limit]:
         print(" ".join(map(str, clique)))
@@ -60,7 +65,13 @@ def cmd_count(args: argparse.Namespace) -> int:
     g = _load(args)
     names = sorted(ALGORITHMS) if args.all else [args.algorithm]
     for name in names:
-        report = run_with_report(g, algorithm=name)
+        try:
+            report = run_with_report(g, algorithm=name, backend=args.backend)
+        except InvalidParameterError as exc:
+            if not args.all:
+                raise
+            print(f"{name:16s} skipped ({exc})")
+            continue
         print(f"{name:16s} {report.clique_count:10d} cliques  "
               f"{report.seconds:8.3f}s  {report.counters.total_calls:10d} calls")
     return 0
@@ -105,7 +116,7 @@ def cmd_algorithms(_args: argparse.Namespace) -> int:
 
 def cmd_verify(args: argparse.Namespace) -> int:
     g = _load(args)
-    cliques = maximal_cliques(g, algorithm=args.algorithm)
+    cliques = maximal_cliques(g, algorithm=args.algorithm, backend=args.backend)
     problems = verify_enumeration(g, cliques)
     if problems:
         for problem in problems[:25]:
@@ -172,7 +183,12 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    try:
+        return args.fn(args)
+    except (UnknownAlgorithmError, InvalidParameterError) as exc:
+        # User errors exit with a one-line diagnostic, not a traceback.
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

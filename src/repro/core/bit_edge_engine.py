@@ -1,0 +1,283 @@
+"""Bit-parallel edge-oriented branching: the ``backend="bitset"`` edge engine.
+
+Structural twin of :mod:`repro.core.edge_engine` — the same Eq. 2/3
+semantics, rank invariant and triangle-pass root specialisation — with the
+branch state ``(C, X)``, the candidate views and the graph adjacency all
+expressed as ``int`` bitmasks (see :mod:`repro.graph.bitadj`).  Rank
+lookups keep the flat ``u * n + v`` key of the set engine; only the vertex
+*sets* change representation.
+
+The per-branch wins are the same as in the vertex phases: common-neighbour
+computation is one AND, the exclusion set of an edge branch is
+``adj[a] & adj[b] & universe`` in three word-parallel operations, and the
+candidate-view prune check walks masks instead of hashing set members.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence
+
+from repro.core.bit_phases import bit_try_early_termination
+from repro.core.phases import EngineContext
+from repro.graph.adjacency import Graph
+from repro.graph.bitadj import BitGraph, iter_bits
+from repro.graph.coreness import core_decomposition
+from repro.graph.truss import EdgeOrdering
+
+BitAdjacency = Mapping[int, int] | Sequence[int]
+
+
+def _bit_candidate_view(
+    members: int,
+    parent_cand: BitAdjacency,
+    adj: Sequence[int],
+    rank: dict[int, int],
+    n: int,
+    threshold: int,
+) -> dict[int, int] | None:
+    """Candidate masks over ``members`` or ``None`` when nothing is pruned.
+
+    Mirrors ``edge_engine._candidate_view``: ``None`` means the candidate
+    structure equals ``G[members]`` and the caller can hand the plain graph
+    masks to the vertex phase (the fast "same-view" mode).
+    """
+    if members.bit_count() < 2:
+        return None
+    pruned = False
+    rest = members
+    while rest and not pruned:
+        low = rest & -rest
+        rest ^= low
+        w = low.bit_length() - 1
+        pc = parent_cand[w]
+        wn = w * n
+        nbrs = adj[w] & members
+        while nbrs:
+            nlow = nbrs & -nbrs
+            nbrs ^= nlow
+            z = nlow.bit_length() - 1
+            if not pc >> z & 1 or rank[wn + z if w < z else z * n + w] <= threshold:
+                pruned = True
+                break
+    if not pruned:
+        return None
+    out: dict[int, int] = {}
+    rest = members
+    while rest:
+        low = rest & -rest
+        rest ^= low
+        w = low.bit_length() - 1
+        kept = 0
+        wn = w * n
+        nbrs = parent_cand[w] & members
+        while nbrs:
+            nlow = nbrs & -nbrs
+            nbrs ^= nlow
+            z = nlow.bit_length() - 1
+            if rank[wn + z if w < z else z * n + w] > threshold:
+                kept |= nlow
+        out[w] = kept
+    return out
+
+
+def bit_edge_phase(
+    S: list[int],
+    C: int,
+    X: int,
+    cand: BitAdjacency,
+    adj: Sequence[int],
+    rank: dict[int, int],
+    n: int,
+    threshold: int,
+    depth: int | None,
+    ctx: EngineContext,
+) -> None:
+    """One edge-oriented branch on bitmask state (mirrors ``edge_phase``)."""
+    counters = ctx.counters
+    counters.edge_calls += 1
+    if not C:
+        if not X:
+            ctx.sink(tuple(S))
+        return
+    if ctx.et_threshold and bit_try_early_termination(S, C, X, cand, adj, ctx):
+        return
+
+    # Candidate edges of this branch, processed in global rank order.
+    edges: list[tuple[int, int, int]] = []
+    rest = C
+    while rest:
+        low = rest & -rest
+        rest ^= low
+        u = low.bit_length() - 1
+        un = u * n
+        above = cand[u] & (-1 << (u + 1))  # bits strictly greater than u
+        while above:
+            alow = above & -above
+            above ^= alow
+            v = alow.bit_length() - 1
+            edges.append((rank[un + v], u, v))
+    edges.sort()
+
+    universe = C | X
+    descend_edges = depth is None or depth > 1
+    next_depth = None if depth is None else depth - 1
+    vertex_phase = ctx.phase
+
+    for edge_rank, a, b in edges:
+        new_c = 0
+        common = cand[a] & cand[b]
+        an = a * n
+        bn = b * n
+        while common:
+            clow = common & -common
+            common ^= clow
+            w = clow.bit_length() - 1
+            wn = w * n
+            if rank[an + w if a < w else wn + a] > edge_rank:
+                if rank[bn + w if b < w else wn + b] > edge_rank:
+                    new_c |= clow
+        new_x = (adj[a] & adj[b] & universe) & ~new_c
+        new_x &= ~(1 << a)
+        new_x &= ~(1 << b)
+        view = _bit_candidate_view(new_c, cand, adj, rank, n, edge_rank)
+
+        S.append(a)
+        S.append(b)
+        if descend_edges:
+            new_cand = (
+                view if view is not None
+                else {w: adj[w] & new_c for w in iter_bits(new_c)}
+            )
+            bit_edge_phase(S, new_c, new_x, new_cand, adj, rank, n,
+                           edge_rank, next_depth, ctx)
+        elif view is None:
+            vertex_phase(S, new_c, new_x, adj, adj, ctx)
+        else:
+            vertex_phase(S, new_c, new_x, view, adj, ctx)
+        S.pop()
+        S.pop()
+
+    # Eq. (3): vertices isolated in the candidate structure.
+    rest = C
+    while rest:
+        low = rest & -rest
+        rest ^= low
+        v = low.bit_length() - 1
+        if cand[v]:
+            continue
+        counters.singleton_branches += 1
+        if not adj[v] & universe:
+            S.append(v)
+            ctx.sink(tuple(S))
+            S.pop()
+
+
+def bit_run_edge_root(
+    g: Graph,
+    bg: BitGraph,
+    ordering: EdgeOrdering,
+    depth: int | None,
+    ctx: EngineContext,
+) -> None:
+    """The initial branch on bitmasks (mirrors ``run_edge_root``).
+
+    ``bg`` must be the identity-mapped bit view of ``g`` so that the rank
+    keys and the emitted vertex ids agree between representations.
+    """
+    counters = ctx.counters
+    counters.edge_calls += 1
+    adj = bg.masks
+    n = g.n
+    rank: dict[int, int] = {
+        u * n + v: r for r, (u, v) in enumerate(ordering.order)
+    }
+    if ctx.et_threshold and bit_try_early_termination(
+        [], bg.vertex_mask, 0, adj, adj, ctx
+    ):
+        return
+
+    edge_count = len(ordering.order)
+    cand_of: list[int] = [0] * edge_count
+    excl_of: list[int] = [0] * edge_count
+
+    position = core_decomposition(g).position
+    set_adj = g.adj
+    forward: list[int] = [0] * n
+    for v in range(n):
+        pv = position[v]
+        mask = 0
+        for w in set_adj[v]:
+            if position[w] > pv:
+                mask |= 1 << w
+        forward[v] = mask
+
+    for u in range(n):
+        fu = forward[u]
+        un = u * n
+        rest = fu
+        while rest:
+            low = rest & -rest
+            rest ^= low
+            v = low.bit_length() - 1
+            vn = v * n
+            r_uv = rank[un + v if u < v else vn + u]
+            common = fu & forward[v]
+            while common:
+                clow = common & -common
+                common ^= clow
+                w = clow.bit_length() - 1
+                wn = w * n
+                r_uw = rank[un + w if u < w else wn + u]
+                r_vw = rank[vn + w if v < w else wn + v]
+                # The triangle's minimum-ranked edge gains a candidate
+                # (its opposite vertex); the other two edges gain the
+                # opposite vertex as an exclusion vertex.
+                if r_uv < r_uw:
+                    if r_uv < r_vw:
+                        cand_of[r_uv] |= 1 << w
+                        excl_of[r_uw] |= 1 << v
+                        excl_of[r_vw] |= 1 << u
+                    else:
+                        cand_of[r_vw] |= 1 << u
+                        excl_of[r_uv] |= 1 << w
+                        excl_of[r_uw] |= 1 << v
+                elif r_uw < r_vw:
+                    cand_of[r_uw] |= 1 << v
+                    excl_of[r_uv] |= 1 << w
+                    excl_of[r_vw] |= 1 << u
+                else:
+                    cand_of[r_vw] |= 1 << u
+                    excl_of[r_uv] |= 1 << w
+                    excl_of[r_uw] |= 1 << v
+
+    descend_edges = depth is None or depth > 1
+    next_depth = None if depth is None else depth - 1
+    vertex_phase = ctx.phase
+
+    S: list[int] = []
+    for edge_rank, (a, b) in enumerate(ordering.order):
+        new_c = cand_of[edge_rank]
+        new_x = excl_of[edge_rank]
+        view = _bit_candidate_view(new_c, adj, adj, rank, n, edge_rank)
+        S.append(a)
+        S.append(b)
+        if descend_edges:
+            new_cand = (
+                view if view is not None
+                else {w: adj[w] & new_c for w in iter_bits(new_c)}
+            )
+            bit_edge_phase(S, new_c, new_x, new_cand, adj, rank, n,
+                           edge_rank, next_depth, ctx)
+        elif view is None:
+            vertex_phase(S, new_c, new_x, adj, adj, ctx)
+        else:
+            vertex_phase(S, new_c, new_x, view, adj, ctx)
+        S.pop()
+        S.pop()
+
+    # Eq. (3) at the root: vertices with no incident edge at all.
+    for v in range(n):
+        if adj[v]:
+            continue
+        counters.singleton_branches += 1
+        ctx.sink((v,))

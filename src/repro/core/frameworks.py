@@ -4,13 +4,20 @@ These functions wire together the pieces — graph reduction, edge ordering,
 the edge-oriented engine and a vertex-phase strategy — into the complete
 enumeration frameworks the paper evaluates.  Both stream maximal cliques to
 a caller-provided sink and return the run's :class:`Counters`.
+
+Both entry points accept ``backend="set"`` (the default ``set``-based
+branch state) or ``backend="bitset"`` (bitmask branch state, see
+:mod:`repro.graph.bitadj`).  The two backends enumerate identical clique
+sets (and agree on ``Counters.emitted``); because pivot degree-ties
+resolve in different scan orders, per-branch instrumentation counters may
+differ by a few counts between them.
 """
 
 from __future__ import annotations
 
 from repro.core.counters import Counters
 from repro.core.edge_engine import run_edge_root
-from repro.core.phases import make_context
+from repro.core.phases import BACKENDS, make_context
 from repro.core.reduction import reduce_graph
 from repro.core.result import CliqueSink, suppressing_sink
 from repro.exceptions import InvalidParameterError
@@ -24,6 +31,24 @@ def _counting(sink: CliqueSink, counters: Counters) -> CliqueSink:
         sink(clique)
 
     return wrapped
+
+
+def _validate_run_options(et_threshold: int, backend: str) -> None:
+    """Reject bad options at the API boundary, before any work starts.
+
+    ``EngineContext`` re-validates ``et_threshold`` when it is built, but
+    that happens after graph reduction has already run (and never happens
+    at all for the empty graph), so an invalid value could silently pass
+    or fail late with cliques already emitted.
+    """
+    if et_threshold not in (0, 1, 2, 3):
+        raise InvalidParameterError(
+            f"et_threshold must be 0 (off), 1, 2 or 3; got {et_threshold}"
+        )
+    if backend not in BACKENDS:
+        raise InvalidParameterError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
 
 
 def _apply_reduction(
@@ -57,6 +82,7 @@ def run_hybrid(
     edge_depth: int | None = 1,
     edge_order_kind: str = "truss",
     vertex_strategy: str = "tomita",
+    backend: str = "set",
     counters: Counters | None = None,
 ) -> Counters:
     """HBBMC / EBBMC: edge-oriented branching at the top of the tree.
@@ -71,11 +97,13 @@ def run_hybrid(
         edge_order_kind: "truss" (default), "degen-lex" or "min-degree".
         vertex_strategy: phase used below the edge levels — "tomita",
             "ref", "rcd", "fac" or "none".
+        backend: branch-state representation, "set" or "bitset".
         counters: accumulate into an existing instance when given.
 
     Returns:
         The run's :class:`Counters`.
     """
+    _validate_run_options(et_threshold, backend)
     if edge_depth is not None and edge_depth < 1:
         raise InvalidParameterError(
             f"edge_depth must be >= 1 or None, got {edge_depth}"
@@ -92,8 +120,16 @@ def run_hybrid(
         counters,
         et_threshold=et_threshold,
         vertex_strategy=vertex_strategy,
+        backend=backend,
     )
-    run_edge_root(work, ordering, edge_depth, ctx)
+    if backend == "bitset":
+        from repro.core.bit_edge_engine import bit_run_edge_root
+        from repro.graph.bitadj import BitGraph
+
+        bit_run_edge_root(work, BitGraph.from_graph(work), ordering,
+                          edge_depth, ctx)
+    else:
+        run_edge_root(work, ordering, edge_depth, ctx)
     return counters
 
 
@@ -105,6 +141,7 @@ def run_vertex(
     vertex_strategy: str = "tomita",
     et_threshold: int = 0,
     graph_reduction: bool = False,
+    backend: str = "set",
     counters: Counters | None = None,
 ) -> Counters:
     """VBBMC: vertex-oriented branching from the initial branch.
@@ -118,11 +155,13 @@ def run_vertex(
         vertex_strategy: "tomita", "ref", "rcd", "fac" or "none".
         et_threshold: t for early termination (0 disables, max 3).
         graph_reduction: peel low-degree vertices first (GR).
+        backend: branch-state representation, "set" or "bitset".
         counters: accumulate into an existing instance when given.
 
     Returns:
         The run's :class:`Counters`.
     """
+    _validate_run_options(et_threshold, backend)
     counters = counters if counters is not None else Counters()
     counted = _counting(sink, counters)
     work, inner_sink = _apply_reduction(g, counted, counters, graph_reduction)
@@ -134,7 +173,11 @@ def run_vertex(
         counters,
         et_threshold=et_threshold,
         vertex_strategy=vertex_strategy,
+        backend=backend,
     )
+    if backend == "bitset":
+        return _run_vertex_bitset(work, ordering_kind, ctx, counters)
+
     adj = work.adj
     if ordering_kind is None:
         ctx.phase([], set(work.vertices()), set(), adj, adj, ctx)
@@ -148,4 +191,35 @@ def run_vertex(
         later = {w for w in adj[v] if position[w] > position[v]}
         earlier = adj[v] - later
         ctx.phase([v], later, earlier, adj, adj, ctx)
+    return counters
+
+
+def _run_vertex_bitset(
+    work: Graph,
+    ordering_kind: str | None,
+    ctx,
+    counters: Counters,
+) -> Counters:
+    """Bitmask twin of the ``run_vertex`` initial branch."""
+    from repro.graph.bitadj import BitGraph
+
+    bg = BitGraph.from_graph(work)
+    masks = bg.masks
+    if ordering_kind is None:
+        ctx.phase([], bg.vertex_mask, 0, masks, masks, ctx)
+        return counters
+
+    order = vertex_ordering(work, ordering_kind)
+    position = [0] * work.n
+    for i, v in enumerate(order):
+        position[v] = i
+    adj = work.adj
+    for v in order:
+        later = 0
+        pv = position[v]
+        for w in adj[v]:
+            if position[w] > pv:
+                later |= 1 << w
+        earlier = masks[v] & ~later
+        ctx.phase([v], later, earlier, masks, masks, ctx)
     return counters

@@ -55,6 +55,7 @@ PhaseFn = Callable[..., None]
 
 PIVOT_KINDS = ("tomita", "ref", "none")
 VERTEX_STRATEGIES = ("tomita", "ref", "none", "rcd", "fac")
+BACKENDS = ("set", "bitset")
 
 
 @dataclass
@@ -80,20 +81,43 @@ def make_context(
     *,
     et_threshold: int = 0,
     vertex_strategy: str = "tomita",
+    backend: str = "set",
 ) -> EngineContext:
-    """Build a context with the requested vertex strategy wired in."""
+    """Build a context with the requested vertex strategy wired in.
+
+    ``backend`` selects the branch-state representation: ``"set"`` phases
+    take :class:`set` candidate/exclusion sets, ``"bitset"`` phases take
+    ``int`` masks (see :mod:`repro.core.bit_phases`).  The two families
+    share the :class:`EngineContext` but are not interchangeable within a
+    single recursion.
+    """
+    if backend not in BACKENDS:
+        raise InvalidParameterError(
+            f"unknown backend {backend!r}; expected one of {BACKENDS}"
+        )
     ctx = EngineContext(
         sink=sink,
         counters=counters if counters is not None else Counters(),
         et_threshold=et_threshold,
     )
+    if backend == "bitset":
+        # Imported here: bit_phases imports EngineContext from this module.
+        from repro.core.bit_phases import (
+            bit_fac_phase,
+            bit_pivot_phase,
+            bit_rcd_phase,
+        )
+
+        pivot, rcd, fac = bit_pivot_phase, bit_rcd_phase, bit_fac_phase
+    else:
+        pivot, rcd, fac = pivot_phase, rcd_phase, fac_phase
     if vertex_strategy in ("tomita", "ref", "none"):
         ctx.pivot = vertex_strategy
-        ctx.phase = pivot_phase
+        ctx.phase = pivot
     elif vertex_strategy == "rcd":
-        ctx.phase = rcd_phase
+        ctx.phase = rcd
     elif vertex_strategy == "fac":
-        ctx.phase = fac_phase
+        ctx.phase = fac
     else:
         raise InvalidParameterError(
             f"unknown vertex strategy {vertex_strategy!r}; "

@@ -11,7 +11,8 @@ from repro import (
     run_with_report,
 )
 from repro.core.result import CliqueCollector
-from repro.exceptions import UnknownAlgorithmError
+from repro.exceptions import InvalidParameterError, UnknownAlgorithmError
+from repro.graph.adjacency import Graph
 from repro.graph.builders import complete_graph
 from repro.graph.generators import erdos_renyi_gnm
 
@@ -65,6 +66,60 @@ class TestMaximalCliques:
         sink = CliqueCollector()
         counters = enumerate_to_sink(complete_graph(3), sink)
         assert counters.emitted == 1
+
+
+class TestOptionValidation:
+    """Bad options are rejected at the API boundary, before any work."""
+
+    @pytest.mark.parametrize("bad", [5, -1, 4, 100])
+    def test_invalid_et_threshold_rejected(self, bad):
+        g = erdos_renyi_gnm(10, 20, seed=1)
+        with pytest.raises(InvalidParameterError):
+            enumerate_to_sink(g, CliqueCollector(), et_threshold=bad)
+
+    @pytest.mark.parametrize("algorithm", ["hbbmc++", "ebbmc++", "vbbmc-dgn",
+                                           "bk-pivot", "rcd++"])
+    def test_invalid_et_threshold_rejected_per_algorithm(self, algorithm):
+        g = complete_graph(4)
+        with pytest.raises(InvalidParameterError):
+            maximal_cliques(g, algorithm=algorithm, et_threshold=5)
+
+    def test_invalid_et_threshold_rejected_on_empty_graph(self):
+        # Regression: the empty-graph early return used to skip validation.
+        with pytest.raises(InvalidParameterError):
+            enumerate_to_sink(Graph(0), CliqueCollector(), et_threshold=5)
+
+    def test_invalid_et_threshold_emits_nothing(self):
+        # Validation must fire before reduction can emit peeled cliques.
+        sink = CliqueCollector()
+        with pytest.raises(InvalidParameterError):
+            enumerate_to_sink(complete_graph(3), sink, et_threshold=-1)
+        assert sink.cliques == []
+
+    def test_invalid_backend_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            maximal_cliques(complete_graph(3), backend="numpy")
+
+    def test_valid_et_thresholds_accepted(self):
+        g = erdos_renyi_gnm(12, 30, seed=2)
+        expected = maximal_cliques(g)
+        for t in (0, 1, 2, 3):
+            assert maximal_cliques(g, et_threshold=t) == expected
+
+
+class TestDocstringRoster:
+    def test_docstring_roster_matches_registry_exactly(self):
+        """The api module docstring roster must equal ALGORITHMS — both a
+        missing registered name and a stale documented name are drift."""
+        import re
+
+        import repro.api
+
+        doc = repro.api.__doc__
+        start = doc.index("registered under the name")
+        end = doc.index("oracle")
+        roster = set(re.findall(r"``([^`]+)``", doc[start:end]))
+        assert roster == set(ALGORITHMS)
 
 
 class TestRunWithReport:

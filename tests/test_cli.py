@@ -39,6 +39,45 @@ class TestCount:
         assert "hbbmc++" in capsys.readouterr().out
 
 
+class TestBackendFlag:
+    def test_enumerate_bitset_backend(self, graph_file, capsys):
+        assert main(["enumerate", graph_file, "--backend", "bitset"]) == 0
+        out = capsys.readouterr().out
+        assert out.strip() == "0 1 2 3"  # K4: the one maximal clique
+
+    def test_count_backends_agree(self, graph_file, capsys):
+        assert main(["count", graph_file, "--backend", "set"]) == 0
+        set_out = capsys.readouterr().out
+        assert main(["count", graph_file, "--backend", "bitset"]) == 0
+        bit_out = capsys.readouterr().out
+        assert set_out.split()[1] == bit_out.split()[1]  # same clique count
+
+    def test_count_all_skips_unsupported_backend(self, graph_file, capsys):
+        assert main(["count", graph_file, "--all", "--backend", "bitset"]) == 0
+        out = capsys.readouterr().out
+        assert "hbbmc++" in out
+        assert "skipped" in out  # reverse-search has no bitset backend
+
+
+class TestErrorExits:
+    """User errors must exit with code 2 and one line, not a traceback."""
+
+    def test_unknown_algorithm_exits_2(self, graph_file, capsys):
+        assert main(["count", graph_file, "-a", "definitely-not-real"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "definitely-not-real" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_invalid_parameter_exits_2(self, graph_file, capsys):
+        # reverse-search rejects the bitset backend with InvalidParameterError.
+        assert main(["enumerate", graph_file, "-a", "reverse-search",
+                     "--backend", "bitset"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert len(err.strip().splitlines()) == 1
+
+
 class TestStats:
     def test_stats_output(self, graph_file, capsys):
         assert main(["stats", graph_file]) == 0
@@ -58,6 +97,14 @@ class TestListing:
         out = capsys.readouterr().out
         assert "hbbmc++" in out
         assert "reverse-search" in out
+
+    def test_algorithms_lists_every_registered_name(self, capsys):
+        from repro.api import ALGORITHMS
+
+        assert main(["algorithms"]) == 0
+        out = capsys.readouterr().out
+        for name in ALGORITHMS:
+            assert name in out
 
 
 class TestVerify:
