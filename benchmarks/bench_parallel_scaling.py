@@ -1,0 +1,218 @@
+"""Parallel scaling curves for the degeneracy-partitioned worker pool.
+
+For every generator family the harness measures the classic single-process
+run, then the partitioned run at 1/2/4/8 workers, and records two speedup
+readings per cell:
+
+* ``speedup`` — strong scaling, ``T_par(1) / T_par(k)`` on the
+  *critical-path* basis: per-chunk worker CPU time (``time.process_time``,
+  immune to host time-sharing) plus the decomposition prologue.  This is
+  the wall clock a machine with >= k free cores would see, and it is what
+  the cost model + chunking strategy actually control — a cost-blind
+  schedule collapses it on skewed graphs.
+* ``speedup_vs_serial`` — the same critical path divided into the
+  *monolithic* single-process wall time, i.e. the end-to-end win over not
+  partitioning at all.  This is the conservative number: it charges the
+  partition for every duplicated branch and per-subproblem prologue
+  (``work_ratio`` makes that overhead explicit).
+
+``wall_seconds``/``wall_speedup`` (host wall clock) are also recorded; on
+hosts with fewer free cores than workers they show pure overhead by
+construction, which is why the committed curves use the critical-path
+basis — the JSON states the basis and the host core count so nobody has
+to guess.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_parallel_scaling.py
+    PYTHONPATH=src python benchmarks/bench_parallel_scaling.py --quick
+
+The full run writes ``BENCH_parallel.json`` at the repository root;
+``--quick`` is the CI smoke mode (tiny graphs, workers 1/2, scratch path).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import platform
+import sys
+import time
+
+_SRC = pathlib.Path(__file__).parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.bench.runner import measure
+from repro.parallel import CountAggregator, ParallelStats, run_parallel
+
+ALGORITHM = "hbbmc++"
+
+
+def workloads(quick: bool):
+    """(name, graph) pairs — the bench_backend_comparison suite."""
+    from repro.graph.generators import (
+        barabasi_albert,
+        erdos_renyi_gnm,
+        planted_cliques,
+        ring_of_cliques,
+    )
+
+    if quick:
+        return [
+            ("erdos-renyi-dense", erdos_renyi_gnm(40, 500, seed=11)),
+            ("barabasi-albert", barabasi_albert(50, 5, seed=5)),
+            ("ring-of-cliques", ring_of_cliques(4, 4)),
+        ]
+    return [
+        ("erdos-renyi-dense", erdos_renyi_gnm(150, 5600, seed=11)),
+        ("erdos-renyi-medium", erdos_renyi_gnm(400, 8000, seed=11)),
+        ("barabasi-albert", barabasi_albert(500, 10, seed=5)),
+        ("planted-cliques", planted_cliques(120, 6, 12, 400, seed=2)),
+        ("ring-of-cliques", ring_of_cliques(40, 8)),
+    ]
+
+
+def _parallel_cell(g, n_jobs: int, chunk_strategy: str, repeats: int):
+    """Best-of-``repeats`` partitioned run at ``n_jobs`` workers."""
+    best = None
+    for _ in range(max(1, repeats)):
+        aggregator = CountAggregator()
+        stats = ParallelStats()
+        start = time.perf_counter()
+        run_parallel(g, aggregator, algorithm=ALGORITHM, n_jobs=n_jobs,
+                     chunk_strategy=chunk_strategy, stats=stats)
+        wall = time.perf_counter() - start
+        chunk_cpu = list(stats.chunk_cpu_seconds.values())
+        critical_path = stats.decompose_seconds + (max(chunk_cpu) if chunk_cpu else 0.0)
+        cell = {
+            "wall_seconds": wall,
+            "critical_path_seconds": critical_path,
+            "total_cpu_seconds": stats.decompose_seconds + sum(chunk_cpu),
+            "cliques": aggregator.finish(),
+            "balance_ratio": stats.balance_ratio,
+            "n_chunks": stats.n_chunks,
+        }
+        if best is None or cell["critical_path_seconds"] < best["critical_path_seconds"]:
+            best = cell
+    return best
+
+
+def run(quick: bool, repeats: int, chunk_strategy: str) -> dict:
+    worker_counts = (1, 2) if quick else (1, 2, 4, 8)
+    families = []
+    for name, g in workloads(quick):
+        serial = measure(g, ALGORITHM, repeats=repeats)
+        rows = []
+        base = None
+        for k in worker_counts:
+            cell = _parallel_cell(g, k, chunk_strategy, repeats)
+            if cell["cliques"] != serial.cliques:
+                raise AssertionError(
+                    f"{name}: parallel ({cell['cliques']}) and serial "
+                    f"({serial.cliques}) clique counts disagree at {k} workers"
+                )
+            if base is None:
+                base = cell["critical_path_seconds"]
+            crit = cell["critical_path_seconds"]
+            rows.append({
+                "workers": k,
+                "wall_seconds": round(cell["wall_seconds"], 6),
+                "critical_path_seconds": round(crit, 6),
+                "speedup": round(base / crit, 3) if crit else 0.0,
+                "speedup_vs_serial": round(serial.seconds / crit, 3) if crit else 0.0,
+                "wall_speedup": round(serial.seconds / cell["wall_seconds"], 3),
+                "work_ratio": round(cell["total_cpu_seconds"] / serial.seconds, 3)
+                if serial.seconds else 0.0,
+                "balance_ratio": round(cell["balance_ratio"], 4),
+                "n_chunks": cell["n_chunks"],
+            })
+            print(f"{name:20s} workers={k}  crit={crit:8.3f}s  "
+                  f"scaling={rows[-1]['speedup']:5.2f}x  "
+                  f"vs-serial={rows[-1]['speedup_vs_serial']:5.2f}x")
+        families.append({
+            "family": name,
+            "n": g.n,
+            "m": g.m,
+            "cliques": serial.cliques,
+            "serial_seconds": round(serial.seconds, 6),
+            "rows": rows,
+        })
+
+    def _at_4(field):
+        return {
+            f["family"]: next((r[field] for r in f["rows"] if r["workers"] == 4), None)
+            for f in families
+        }
+
+    summary = {}
+    if not quick:
+        scaling_at_4 = _at_4("speedup")
+        vs_serial_at_4 = _at_4("speedup_vs_serial")
+        summary = {
+            "scaling_speedup_at_4_workers": scaling_at_4,
+            "speedup_vs_serial_at_4_workers": vs_serial_at_4,
+            "families_ge_1.7x_at_4_workers": sorted(
+                f for f, s in scaling_at_4.items() if s and s >= 1.7),
+            "families_ge_1.7x_vs_serial_at_4_workers": sorted(
+                f for f, s in vs_serial_at_4.items() if s and s >= 1.7),
+        }
+    return {
+        "experiment": "parallel-scaling",
+        "algorithm": ALGORITHM,
+        "chunk_strategy": chunk_strategy,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "host_cpus": len(os.sched_getaffinity(0)) if hasattr(os, "sched_getaffinity")
+        else os.cpu_count(),
+        "quick": quick,
+        "repeats": repeats,
+        "speedup_basis": (
+            "speedup = strong scaling T_par(1)/T_par(k); speedup_vs_serial = "
+            "monolithic serial wall / T_par(k); both on the critical-path "
+            "basis (decompose prologue + max per-chunk worker CPU time), the "
+            "wall clock of a host with >= k free cores. wall_seconds is this "
+            "host's actual wall clock and is overhead-bound when host_cpus < "
+            "workers."
+        ),
+        "families": families,
+        **summary,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="tiny graphs, workers 1/2 (CI smoke mode)")
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="repeats per cell, fastest kept")
+    parser.add_argument("--chunk-strategy", default="greedy",
+                        choices=["greedy", "contiguous", "round-robin"])
+    parser.add_argument("--out", default=None,
+                        help="output JSON path (default: BENCH_parallel.json "
+                             "at the repo root; /tmp scratch in --quick mode)")
+    args = parser.parse_args(argv)
+
+    repeats = args.repeats if args.repeats is not None else (1 if args.quick else 3)
+    results = run(args.quick, repeats, args.chunk_strategy)
+
+    if args.out:
+        out = pathlib.Path(args.out)
+    elif args.quick:
+        out = pathlib.Path("/tmp/BENCH_parallel_quick.json")
+    else:
+        out = pathlib.Path(__file__).parent.parent / "BENCH_parallel.json"
+    out.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {out}")
+    if not args.quick:
+        print("families >= 1.7x scaling at 4 workers:",
+              ", ".join(results["families_ge_1.7x_at_4_workers"]) or "none")
+        print("families >= 1.7x vs serial at 4 workers:",
+              ", ".join(results["families_ge_1.7x_vs_serial_at_4_workers"]) or "none")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,6 +22,16 @@ Every branch-and-bound algorithm additionally accepts
 ``backend="set" | "bitset"`` selecting the branch-state representation
 (Python sets vs ``int`` bitmasks, see :mod:`repro.graph.bitadj`); both
 backends emit identical clique sets.
+
+``maximal_cliques``, ``count_maximal_cliques`` and ``enumerate_to_sink``
+also accept ``n_jobs=N`` to fan the enumeration out over the
+degeneracy-partitioned worker pool (:mod:`repro.parallel`): the root level
+splits into per-vertex subproblems packed into cost-balanced chunks
+(``chunk_strategy=``, ``cost_model=``), each solved by the selected
+algorithm/backend in a worker process.  Results merge deterministically,
+so every ``n_jobs`` value yields the identical clique stream; ``n_jobs=1``
+runs the same partitioned pipeline in-process and ``n_jobs=None`` (the
+default) is the classic single-process path.
 """
 
 from __future__ import annotations
@@ -144,17 +154,55 @@ def enumerate_to_sink(
     sink: CliqueSink,
     *,
     algorithm: str = DEFAULT_ALGORITHM,
+    n_jobs: int | None = None,
+    chunk_strategy: str | None = None,
+    cost_model: str | None = None,
     **options,
 ) -> Counters:
     """Stream all maximal cliques of ``g`` into ``sink``.
 
     ``options`` are forwarded to the underlying framework (e.g.
     ``et_threshold=2`` or ``backend="bitset"`` for registered
-    branch-and-bound variants).
+    branch-and-bound variants).  With ``n_jobs=N`` the run is partitioned
+    across N worker processes (see :mod:`repro.parallel`); the stream
+    order is deterministic — degeneracy-position order of the subproblem,
+    canonical within each subproblem — independent of worker scheduling.
     """
+    if n_jobs is not None:
+        from repro.parallel import CallbackAggregator, run_parallel
+
+        aggregator = CallbackAggregator(sink)
+        counters = run_parallel(
+            g, aggregator, algorithm=algorithm, n_jobs=n_jobs,
+            **_parallel_kwargs(chunk_strategy, cost_model), **options,
+        )
+        aggregator.finish()
+        return counters
+    _reject_serial_parallel_options(chunk_strategy, cost_model)
     spec = get_algorithm(algorithm)
     runner = partial(spec.runner, **options) if options else spec.runner
     return runner(g, sink)
+
+
+def _parallel_kwargs(chunk_strategy: str | None, cost_model: str | None) -> dict:
+    kwargs = {}
+    if chunk_strategy is not None:
+        kwargs["chunk_strategy"] = chunk_strategy
+    if cost_model is not None:
+        kwargs["cost_model"] = cost_model
+    return kwargs
+
+
+def _reject_serial_parallel_options(
+    chunk_strategy: str | None, cost_model: str | None
+) -> None:
+    """Scheduling knobs without ``n_jobs`` are almost certainly a mistake."""
+    from repro.exceptions import InvalidParameterError
+
+    if chunk_strategy is not None or cost_model is not None:
+        raise InvalidParameterError(
+            "chunk_strategy/cost_model require n_jobs (the parallel path)"
+        )
 
 
 def maximal_cliques(
@@ -162,41 +210,92 @@ def maximal_cliques(
     *,
     algorithm: str = DEFAULT_ALGORITHM,
     sort: bool = True,
+    n_jobs: int | None = None,
+    chunk_strategy: str | None = None,
+    cost_model: str | None = None,
     **options,
 ) -> list[tuple[int, ...]]:
     """All maximal cliques of ``g`` as a list of vertex tuples.
 
     With ``sort=True`` (default) each clique is sorted and the list is in
     lexicographic order, giving a canonical result independent of the
-    algorithm used.
+    algorithm used.  ``n_jobs=N`` distributes the run over N worker
+    processes; with ``sort=False`` the parallel order is still
+    deterministic (subproblems in degeneracy order).
     """
     collector = CliqueCollector()
-    enumerate_to_sink(g, collector, algorithm=algorithm, **options)
+    enumerate_to_sink(
+        g, collector, algorithm=algorithm, n_jobs=n_jobs,
+        chunk_strategy=chunk_strategy, cost_model=cost_model, **options,
+    )
     if sort:
         return collector.sorted_cliques()
     return collector.cliques
 
 
 def count_maximal_cliques(
-    g: Graph, *, algorithm: str = DEFAULT_ALGORITHM, **options
+    g: Graph,
+    *,
+    algorithm: str = DEFAULT_ALGORITHM,
+    n_jobs: int | None = None,
+    chunk_strategy: str | None = None,
+    cost_model: str | None = None,
+    **options,
 ) -> int:
-    """Number of maximal cliques of ``g`` (O(1) memory beyond the run)."""
+    """Number of maximal cliques of ``g`` (O(1) memory beyond the run).
+
+    The parallel path (``n_jobs=N``) stays O(1) end to end: workers ship
+    per-subproblem count summaries instead of the cliques themselves.
+    """
+    if n_jobs is not None:
+        from repro.parallel import CountAggregator, run_parallel
+
+        aggregator = CountAggregator()
+        run_parallel(
+            g, aggregator, algorithm=algorithm, n_jobs=n_jobs,
+            **_parallel_kwargs(chunk_strategy, cost_model), **options,
+        )
+        return aggregator.finish()
+    _reject_serial_parallel_options(chunk_strategy, cost_model)
     counter = CliqueCounter()
     enumerate_to_sink(g, counter, algorithm=algorithm, **options)
     return counter.count
 
 
 def run_with_report(
-    g: Graph, *, algorithm: str = DEFAULT_ALGORITHM, **options
+    g: Graph,
+    *,
+    algorithm: str = DEFAULT_ALGORITHM,
+    n_jobs: int | None = None,
+    chunk_strategy: str | None = None,
+    cost_model: str | None = None,
+    **options,
 ) -> RunReport:
-    """Run an algorithm and return timing + counters (benchmark building block)."""
-    counter = CliqueCounter()
+    """Run an algorithm and return timing + counters (benchmark building block).
+
+    Only the clique count is needed, so the parallel path uses the
+    count-mode aggregator: workers ship per-subproblem count summaries,
+    never the cliques themselves.
+    """
     start = time.perf_counter()
-    counters = enumerate_to_sink(g, counter, algorithm=algorithm, **options)
+    if n_jobs is not None:
+        from repro.parallel import CountAggregator, run_parallel
+
+        aggregator = CountAggregator()
+        counters = run_parallel(
+            g, aggregator, algorithm=algorithm, n_jobs=n_jobs,
+            **_parallel_kwargs(chunk_strategy, cost_model), **options,
+        )
+        count = aggregator.finish()
+    else:
+        _reject_serial_parallel_options(chunk_strategy, cost_model)
+        counter = CliqueCounter()
+        counters = enumerate_to_sink(g, counter, algorithm=algorithm, **options)
+        count = counter.count
     elapsed = time.perf_counter() - start
     return RunReport(
         algorithm=algorithm,
-        clique_count=counter.count,
+        clique_count=count,
         seconds=elapsed,
         counters=counters,
     )

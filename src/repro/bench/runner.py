@@ -34,18 +34,23 @@ def measure(g: Graph, algorithm: str, *, repeats: int = 1, **options) -> Measure
     the clique-heavy proxies.
     """
     best_seconds = float("inf")
-    counter = CliqueCounter()
-    counters = Counters()
+    best_counter = CliqueCounter()
+    best_counters = Counters()
     for _ in range(max(1, repeats)):
         counter = CliqueCounter()
         start = time.perf_counter()
         counters = enumerate_to_sink(g, counter, algorithm=algorithm, **options)
         elapsed = time.perf_counter() - start
-        best_seconds = min(best_seconds, elapsed)
+        # seconds, cliques and counters must describe the *same* run, so
+        # snapshot all three whenever a repeat sets a new best time.
+        if elapsed < best_seconds:
+            best_seconds = elapsed
+            best_counter = counter
+            best_counters = counters
     return Measurement(
         algorithm=algorithm,
         seconds=best_seconds,
-        cliques=counter.count,
-        max_clique_size=counter.max_size,
-        counters=counters,
+        cliques=best_counter.count,
+        max_clique_size=best_counter.max_size,
+        counters=best_counters,
     )

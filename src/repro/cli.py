@@ -19,6 +19,7 @@ import time
 from repro.api import ALGORITHMS, DEFAULT_ALGORITHM, maximal_cliques, run_with_report
 from repro.core.phases import BACKENDS
 from repro.exceptions import InvalidParameterError, UnknownAlgorithmError
+from repro.parallel import CHUNK_STRATEGIES, DEFAULT_CHUNK_STRATEGY, parse_jobs
 from repro.graph.adjacency import Graph
 from repro.graph.generators import DATASET_NAMES, load_dataset, paper_stats
 from repro.graph.io import load_graph
@@ -47,11 +48,41 @@ def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--backend", choices=BACKENDS, default="set",
                         help="branch-state representation: Python sets or "
                              "int bitmasks (default: set)")
+    parser.add_argument("--jobs", metavar="N", default=None,
+                        help="worker processes for the degeneracy-partitioned "
+                             "parallel pool (positive integer; default: "
+                             "classic single-process run; 1 = partitioned "
+                             "pipeline without subprocesses)")
+    parser.add_argument("--chunk-strategy", choices=CHUNK_STRATEGIES,
+                        default=None,
+                        help="how subproblems are packed into worker chunks "
+                             f"(default: {DEFAULT_CHUNK_STRATEGY}; requires "
+                             "--jobs)")
+
+
+def _parallel_options(args: argparse.Namespace) -> dict:
+    """Translate --jobs/--chunk-strategy into API keyword arguments.
+
+    ``--jobs`` is validated here (not by argparse) so bad values follow the
+    library's error convention: exit code 2 with a one-line message.
+    """
+    if args.jobs is None:
+        if args.chunk_strategy is not None:
+            raise InvalidParameterError(
+                "--chunk-strategy requires --jobs (the parallel path)"
+            )
+        return {}
+    options = {"n_jobs": parse_jobs(args.jobs)}
+    if args.chunk_strategy is not None:
+        options["chunk_strategy"] = args.chunk_strategy
+    return options
 
 
 def cmd_enumerate(args: argparse.Namespace) -> int:
+    parallel = _parallel_options(args)
     g = _load(args)
-    cliques = maximal_cliques(g, algorithm=args.algorithm, backend=args.backend)
+    cliques = maximal_cliques(g, algorithm=args.algorithm, backend=args.backend,
+                              **parallel)
     limit = args.limit if args.limit is not None else len(cliques)
     for clique in cliques[:limit]:
         print(" ".join(map(str, clique)))
@@ -62,11 +93,13 @@ def cmd_enumerate(args: argparse.Namespace) -> int:
 
 
 def cmd_count(args: argparse.Namespace) -> int:
+    parallel = _parallel_options(args)
     g = _load(args)
     names = sorted(ALGORITHMS) if args.all else [args.algorithm]
     for name in names:
         try:
-            report = run_with_report(g, algorithm=name, backend=args.backend)
+            report = run_with_report(g, algorithm=name, backend=args.backend,
+                                     **parallel)
         except InvalidParameterError as exc:
             if not args.all:
                 raise
@@ -115,8 +148,10 @@ def cmd_algorithms(_args: argparse.Namespace) -> int:
 
 
 def cmd_verify(args: argparse.Namespace) -> int:
+    parallel = _parallel_options(args)
     g = _load(args)
-    cliques = maximal_cliques(g, algorithm=args.algorithm, backend=args.backend)
+    cliques = maximal_cliques(g, algorithm=args.algorithm, backend=args.backend,
+                              **parallel)
     problems = verify_enumeration(g, cliques)
     if problems:
         for problem in problems[:25]:

@@ -10,10 +10,16 @@ Supported formats:
 
 All readers sanitise input the way the paper's experiments do: directions,
 weights (trailing columns) and self-loops are ignored, duplicates collapsed.
+
+Every reader and writer is gzip-transparent: a path ending in ``.gz`` is
+(de)compressed on the fly, because that is how network-repository and SNAP
+datasets actually ship (``soc-foo.txt.gz``).  Format inference looks at
+the suffix *under* the ``.gz``.
 """
 
 from __future__ import annotations
 
+import gzip
 import json
 from pathlib import Path
 from typing import Iterable, Iterator, TextIO
@@ -23,6 +29,13 @@ from repro.graph.adjacency import Graph
 from repro.graph.builders import LabeledGraph, from_edge_list
 
 _COMMENT_PREFIXES = ("#", "%", "//")
+
+
+def _open_text(path: str | Path, mode: str = "r") -> TextIO:
+    """Open a text file, decompressing/compressing when the path is ``.gz``."""
+    if str(path).lower().endswith(".gz"):
+        return gzip.open(path, mode + "t", encoding="utf-8")
+    return open(path, mode, encoding="utf-8")
 
 
 def _iter_data_lines(handle: TextIO) -> Iterator[tuple[int, str]]:
@@ -36,7 +49,7 @@ def _iter_data_lines(handle: TextIO) -> Iterator[tuple[int, str]]:
 def read_edge_list(path: str | Path) -> LabeledGraph:
     """Read a whitespace-separated edge list (labels may be any tokens)."""
     edges: list[tuple[str, str]] = []
-    with open(path, "r", encoding="utf-8") as handle:
+    with _open_text(path) as handle:
         for lineno, line in _iter_data_lines(handle):
             parts = line.split()
             if len(parts) < 2:
@@ -49,7 +62,7 @@ def read_edge_list(path: str | Path) -> LabeledGraph:
 
 def write_edge_list(g: Graph, path: str | Path, *, header: str | None = None) -> None:
     """Write the graph as a ``u v`` edge list."""
-    with open(path, "w", encoding="utf-8") as handle:
+    with _open_text(path, "w") as handle:
         if header:
             for line in header.splitlines():
                 handle.write(f"# {line}\n")
@@ -62,7 +75,7 @@ def read_dimacs(path: str | Path) -> Graph:
     """Read a DIMACS ``.col``-style file (``p edge n m`` / ``e u v``)."""
     n = None
     edges: list[tuple[int, int]] = []
-    with open(path, "r", encoding="utf-8") as handle:
+    with _open_text(path) as handle:
         for lineno, line in _iter_data_lines(handle):
             parts = line.split()
             tag = parts[0].lower()
@@ -92,7 +105,7 @@ def read_dimacs(path: str | Path) -> Graph:
 
 def write_dimacs(g: Graph, path: str | Path) -> None:
     """Write a DIMACS ``.col``-style file."""
-    with open(path, "w", encoding="utf-8") as handle:
+    with _open_text(path, "w") as handle:
         handle.write(f"p edge {g.n} {g.m}\n")
         for u, v in g.edges():
             handle.write(f"e {u + 1} {v + 1}\n")
@@ -100,7 +113,7 @@ def write_dimacs(g: Graph, path: str | Path) -> None:
 
 def read_metis(path: str | Path) -> Graph:
     """Read a METIS adjacency file (1-based vertex ids)."""
-    with open(path, "r", encoding="utf-8") as handle:
+    with _open_text(path) as handle:
         lines = list(_iter_data_lines(handle))
     if not lines:
         raise GraphFormatError(f"{path}: empty METIS file")
@@ -126,7 +139,7 @@ def read_metis(path: str | Path) -> Graph:
 
 def write_metis(g: Graph, path: str | Path) -> None:
     """Write a METIS adjacency file."""
-    with open(path, "w", encoding="utf-8") as handle:
+    with _open_text(path, "w") as handle:
         handle.write(f"{g.n} {g.m}\n")
         for v in g.vertices():
             handle.write(" ".join(str(w + 1) for w in sorted(g.adj[v])) + "\n")
@@ -134,7 +147,7 @@ def write_metis(g: Graph, path: str | Path) -> None:
 
 def read_json(path: str | Path) -> Graph:
     """Read the library's JSON graph format."""
-    with open(path, "r", encoding="utf-8") as handle:
+    with _open_text(path) as handle:
         payload = json.load(handle)
     try:
         n = int(payload["n"])
@@ -152,7 +165,7 @@ def read_json(path: str | Path) -> Graph:
 def write_json(g: Graph, path: str | Path) -> None:
     """Write the library's JSON graph format."""
     payload = {"n": g.n, "edges": [list(e) for e in g.edges()]}
-    with open(path, "w", encoding="utf-8") as handle:
+    with _open_text(path, "w") as handle:
         json.dump(payload, handle)
 
 
@@ -179,7 +192,10 @@ def load_graph(path: str | Path, fmt: str | None = None) -> Graph:
     """Load a graph, inferring the format from the suffix when not given."""
     path = Path(path)
     if fmt is None:
-        fmt = _SUFFIX_FORMATS.get(path.suffix.lower(), "edgelist")
+        suffix = path.suffix.lower()
+        if suffix == ".gz":
+            suffix = Path(path.stem).suffix.lower()
+        fmt = _SUFFIX_FORMATS.get(suffix, "edgelist")
     reader = _READERS.get(fmt)
     if reader is None:
         raise GraphFormatError(

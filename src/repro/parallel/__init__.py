@@ -1,0 +1,66 @@
+"""Parallel enumeration: degeneracy-partitioned worker pool.
+
+The root level of the clique search splits exactly into per-vertex
+subproblems along a degeneracy ordering (:mod:`repro.parallel.decompose`);
+a cost model packs them into balanced chunks
+(:mod:`repro.parallel.scheduler`); a ``multiprocessing`` pool solves each
+chunk with any registered algorithm/backend
+(:mod:`repro.parallel.pool`); and pluggable aggregators merge the streams
+back deterministically (:mod:`repro.parallel.aggregate`).
+
+Most callers never import this package directly — pass ``n_jobs=`` to
+:func:`repro.api.maximal_cliques`, :func:`repro.api.count_maximal_cliques`
+or :func:`repro.api.enumerate_to_sink` (CLI: ``--jobs``).
+"""
+
+from repro.parallel.aggregate import (
+    Aggregator,
+    CallbackAggregator,
+    ChunkResult,
+    CollectAggregator,
+    CountAggregator,
+)
+from repro.parallel.decompose import (
+    COST_MODELS,
+    DEFAULT_COST_MODEL,
+    Decomposition,
+    Subproblem,
+    decompose,
+    solve_subproblem,
+)
+from repro.parallel.pool import (
+    ParallelStats,
+    parse_jobs,
+    run_parallel,
+    validate_n_jobs,
+)
+from repro.parallel.scheduler import (
+    CHUNK_STRATEGIES,
+    DEFAULT_CHUNK_STRATEGY,
+    Chunk,
+    balance_ratio,
+    make_chunks,
+)
+
+__all__ = [
+    "Aggregator",
+    "CallbackAggregator",
+    "ChunkResult",
+    "CollectAggregator",
+    "CountAggregator",
+    "COST_MODELS",
+    "DEFAULT_COST_MODEL",
+    "Decomposition",
+    "Subproblem",
+    "decompose",
+    "solve_subproblem",
+    "ParallelStats",
+    "parse_jobs",
+    "run_parallel",
+    "validate_n_jobs",
+    "CHUNK_STRATEGIES",
+    "DEFAULT_CHUNK_STRATEGY",
+    "Chunk",
+    "balance_ratio",
+    "make_chunks",
+]

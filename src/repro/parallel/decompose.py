@@ -1,0 +1,200 @@
+"""Degeneracy-partitioned subproblem extraction (the ParMCE decomposition).
+
+The root level of the maximal clique search decomposes exactly along a
+degeneracy ordering: for each vertex ``v`` the *subproblem of v* asks for
+the maximal cliques of ``G`` whose earliest member (in the ordering) is
+``v``.  Every such clique is ``{v} | C`` where
+
+* ``C`` is a maximal clique of ``G[later(v)]`` (the subgraph induced by
+  the neighbours of ``v`` that come later in the ordering), and
+* no *earlier* neighbour of ``v`` is adjacent to all of ``{v} | C``
+  (otherwise the clique was already found from that earlier vertex and is
+  not maximal with earliest member ``v``).
+
+Because ``later(v)`` has at most ``delta`` vertices, each subproblem is a
+small independent instance that any registered enumeration algorithm can
+solve on a compact induced subgraph — which is what makes the
+decomposition the natural unit of parallel work (Das et al., ParMCE).
+
+This module extracts the subproblems, attaches a per-subproblem *cost
+estimate* used by :mod:`repro.parallel.scheduler` to pack balanced chunks,
+and provides :func:`solve_subproblem`, the single code path both the
+in-process fallback and the worker processes execute.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+
+from repro.core.counters import Counters
+from repro.core.result import CliqueCollector
+from repro.exceptions import InvalidParameterError
+from repro.graph.adjacency import Graph
+from repro.graph.coreness import core_decomposition
+
+COST_MODELS = ("uniform", "candidates", "edges", "triangles")
+
+DEFAULT_COST_MODEL = "edges"
+
+
+@dataclass(frozen=True)
+class Subproblem:
+    """One root-level unit of work.
+
+    Attributes:
+        position: index of ``vertex`` in the degeneracy ordering.
+        vertex: the subproblem's root vertex.
+        cost: estimated enumeration cost (scheduler packing weight).
+    """
+
+    position: int
+    vertex: int
+    cost: float
+
+
+@dataclass(frozen=True)
+class Decomposition:
+    """The full root-level partition of a graph.
+
+    Attributes:
+        order: degeneracy ordering of the vertices.
+        position: ``position[v]`` is the index of ``v`` in ``order``.
+        subproblems: one :class:`Subproblem` per vertex, in order.
+        total_cost: sum of all subproblem costs.
+        seconds: wall-clock time spent decomposing (cost-model included).
+    """
+
+    order: list[int]
+    position: list[int]
+    subproblems: list[Subproblem]
+    total_cost: float
+    seconds: float
+
+
+def subproblem_sets(
+    g: Graph, position: list[int], v: int
+) -> tuple[set[int], set[int]]:
+    """Split ``N(v)`` into (later, earlier) neighbours w.r.t. the ordering.
+
+    ``later`` is the candidate set of the subproblem; ``earlier`` holds the
+    maximality witnesses checked by :func:`solve_subproblem`.
+    """
+    pv = position[v]
+    later = {w for w in g.adj[v] if position[w] > pv}
+    earlier = g.adj[v] - later
+    return later, earlier
+
+
+def _estimate_cost(g: Graph, later: set[int], model: str) -> float:
+    """Estimated enumeration cost of one subproblem.
+
+    * ``uniform`` — every subproblem weighs 1 (no balancing signal).
+    * ``candidates`` — ``|later|``: linear proxy, free to compute.
+    * ``edges`` — edges of ``G[later]`` plus ``|later| + 1``: quadratic
+      proxy tracking candidate-graph density (the default).
+    * ``triangles`` — triangles of ``G[later]`` plus the edge cost: cubic
+      proxy, closest to branch-tree size but the most expensive estimate.
+    """
+    if model == "uniform":
+        return 1.0
+    size = len(later)
+    if model == "candidates":
+        return float(size + 1)
+    adj = g.adj
+    inner = [adj[w] & later for w in later]
+    edges = sum(len(s) for s in inner) // 2
+    if model == "edges":
+        return float(edges + size + 1)
+    # triangles: every triangle of G[later] is counted once per corner.
+    by_vertex = dict(zip(later, inner))
+    triangles = 0
+    for w, nbrs in by_vertex.items():
+        for x in nbrs:
+            triangles += len(nbrs & by_vertex[x])
+    return float(triangles // 6 + edges + size + 1)
+
+
+def decompose(g: Graph, *, cost_model: str = DEFAULT_COST_MODEL) -> Decomposition:
+    """Partition the root level of the search into per-vertex subproblems."""
+    if cost_model not in COST_MODELS:
+        raise InvalidParameterError(
+            f"unknown cost model {cost_model!r}; expected one of {COST_MODELS}"
+        )
+    start = time.perf_counter()
+    core = core_decomposition(g)
+    subproblems = []
+    total = 0.0
+    for p, v in enumerate(core.order):
+        later, _ = subproblem_sets(g, core.position, v)
+        cost = _estimate_cost(g, later, cost_model)
+        subproblems.append(Subproblem(position=p, vertex=v, cost=cost))
+        total += cost
+    return Decomposition(
+        order=core.order,
+        position=core.position,
+        subproblems=subproblems,
+        total_cost=total,
+        seconds=time.perf_counter() - start,
+    )
+
+
+def solve_subproblem(
+    g: Graph,
+    position: list[int],
+    v: int,
+    *,
+    algorithm: str,
+    options: dict,
+) -> tuple[list[tuple[int, ...]], Counters, int]:
+    """Enumerate the maximal cliques of ``G`` whose earliest member is ``v``.
+
+    Runs the registered ``algorithm`` on the compact induced subgraph
+    ``G[later(v)]``, prepends ``v``, and drops every candidate extendable
+    by an earlier neighbour of ``v`` (those cliques belong to — and are
+    found from — an earlier subproblem).
+
+    Returns ``(cliques, counters, dropped)`` where ``cliques`` are emitted
+    canonically (each tuple ascending, list sorted) so the stream is
+    deterministic regardless of backend scan order, and ``dropped`` counts
+    the candidates rejected by the earlier-neighbour maximality filter.
+    """
+    from repro.api import enumerate_to_sink  # deferred: api imports us lazily
+
+    later, earlier = subproblem_sets(g, position, v)
+    counters = Counters()
+    if not later:
+        # Lone root: {v} is maximal iff v has no neighbours at all.
+        cliques = [(v,)] if not earlier else []
+        counters.emitted = len(cliques)
+        return cliques, counters, 0
+
+    sub, old_ids = g.induced_subgraph(later)
+    collector = CliqueCollector()
+    counters = enumerate_to_sink(sub, collector, algorithm=algorithm, **options)
+
+    adj = g.adj
+    cliques: list[tuple[int, ...]] = []
+    dropped = 0
+    for local in collector.cliques:
+        members = [old_ids[u] for u in local]
+        # {v} | members extends iff some earlier neighbour of v is adjacent
+        # to every member: intersect the witness set down, bailing early.
+        witnesses = earlier
+        for u in members:
+            witnesses = witnesses & adj[u]
+            if not witnesses:
+                break
+        if witnesses:
+            dropped += 1
+            continue
+        cliques.append(tuple(sorted([v, *members])))
+    cliques.sort()
+
+    # Counters keep their work meaning (calls done solving the subproblem)
+    # but `emitted` is re-pointed at what this subproblem contributes to the
+    # global answer; filtered candidates are accounted as suppressed, the
+    # same bookkeeping graph reduction uses for its shadowed cliques.
+    counters.emitted = len(cliques)
+    counters.suppressed_candidates += dropped
+    return cliques, counters, dropped

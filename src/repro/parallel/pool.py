@@ -1,0 +1,249 @@
+"""Worker-pool driver for degeneracy-partitioned parallel enumeration.
+
+Task encoding is deliberately pickling-lean: the graph, ordering and
+algorithm configuration travel to each worker exactly once (inherited
+through ``fork`` where available, shipped through the pool initializer
+under ``spawn``); after that a task is just a :class:`Chunk` — a tuple of
+subproblem positions — and a result is one :class:`ChunkResult`.
+
+``n_jobs=1`` runs the identical decomposition + chunk pipeline in-process
+(no subprocesses), so the parallel path can be tested and profiled without
+pool nondeterminism; ``n_jobs>=2`` fans the chunks out over a
+``multiprocessing`` pool and streams results back as workers finish, with
+the aggregator re-establishing deterministic order.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+
+from repro.core.counters import Counters
+from repro.exceptions import InvalidParameterError
+from repro.graph.adjacency import Graph
+from repro.parallel.aggregate import Aggregator, ChunkResult, count_payload
+from repro.parallel.decompose import (
+    DEFAULT_COST_MODEL,
+    decompose,
+    solve_subproblem,
+)
+from repro.parallel.scheduler import (
+    DEFAULT_CHUNK_STRATEGY,
+    Chunk,
+    balance_ratio,
+    make_chunks,
+)
+
+
+@dataclass
+class WorkerState:
+    """Everything a worker needs beyond the per-task chunk."""
+
+    graph: Graph
+    order: list[int]
+    position: list[int]
+    algorithm: str
+    options: dict
+    mode: str  # "collect" or "count"
+
+
+@dataclass
+class ParallelStats:
+    """Optional observability for one parallel run (used by the bench).
+
+    Pass an instance via ``run_parallel(..., stats=...)``; it is filled in
+    place.  ``chunk_cpu_seconds`` is worker-side ``process_time`` per chunk
+    (time-sharing-proof), from which the benchmark derives the
+    critical-path speedup.
+    """
+
+    n_jobs: int = 0
+    n_subproblems: int = 0
+    n_chunks: int = 0
+    chunk_strategy: str = ""
+    cost_model: str = ""
+    start_method: str = ""
+    decompose_seconds: float = 0.0
+    balance_ratio: float = 1.0
+    chunk_costs: list[float] = field(default_factory=list)
+    chunk_sizes: list[int] = field(default_factory=list)
+    chunk_cpu_seconds: dict[int, float] = field(default_factory=dict)
+
+
+def validate_n_jobs(n_jobs) -> int:
+    """``n_jobs`` must be a positive ``int`` (bools are rejected too)."""
+    if isinstance(n_jobs, bool) or not isinstance(n_jobs, int):
+        raise InvalidParameterError(
+            f"n_jobs must be a positive integer, got {n_jobs!r}"
+        )
+    if n_jobs < 1:
+        raise InvalidParameterError(
+            f"n_jobs must be a positive integer, got {n_jobs}"
+        )
+    return n_jobs
+
+
+def parse_jobs(text: str) -> int:
+    """CLI-side ``--jobs`` parsing with the library's error convention."""
+    try:
+        value = int(text)
+    except (TypeError, ValueError):
+        value = None
+    if value is None or value < 1:
+        raise InvalidParameterError(
+            f"--jobs must be a positive integer, got {text!r}"
+        )
+    return value
+
+
+def _solve_chunk(state: WorkerState, chunk: Chunk) -> ChunkResult:
+    """Run every subproblem of one chunk; shared by workers and inline mode."""
+    cpu_start = time.process_time()
+    items: list[tuple[int, object]] = []
+    counters = Counters()
+    g, position, order = state.graph, state.position, state.order
+    for p in chunk.positions:
+        cliques, sub_counters, _ = solve_subproblem(
+            g, position, order[p],
+            algorithm=state.algorithm, options=state.options,
+        )
+        counters.merge(sub_counters)
+        payload = count_payload(cliques) if state.mode == "count" else cliques
+        items.append((p, payload))
+    return ChunkResult(
+        chunk_index=chunk.index,
+        items=items,
+        counters=counters.as_dict(),
+        cpu_seconds=time.process_time() - cpu_start,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Worker-process plumbing
+# ---------------------------------------------------------------------------
+
+_WORKER_STATE: WorkerState | None = None
+
+
+def _init_worker(state: WorkerState) -> None:
+    """Pool initializer (spawn path): receive the state once per worker."""
+    global _WORKER_STATE
+    _WORKER_STATE = state
+
+
+def _run_chunk(chunk: Chunk) -> ChunkResult:
+    """Pool task: resolve the per-process state and solve the chunk."""
+    if _WORKER_STATE is None:  # pragma: no cover - defensive
+        raise RuntimeError("worker state was never initialised")
+    return _solve_chunk(_WORKER_STATE, chunk)
+
+
+def _pool_context():
+    """Prefer ``fork`` (zero-copy state inheritance), fall back to spawn."""
+    methods = multiprocessing.get_all_start_methods()
+    method = "fork" if "fork" in methods else methods[0]
+    return multiprocessing.get_context(method), method
+
+
+def _validate_algorithm_options(algorithm: str, options: dict) -> None:
+    """Fail fast in the parent, before any worker is spawned.
+
+    A dry run on the empty graph exercises the registry lookup and every
+    boundary validator (``et_threshold``, ``backend``, ...) in
+    microseconds, so bad options surface as one clean
+    :class:`InvalidParameterError` instead of a pickled worker traceback.
+    """
+    from repro.api import enumerate_to_sink  # deferred: api imports us lazily
+
+    enumerate_to_sink(Graph(0), lambda clique: None,
+                      algorithm=algorithm, **options)
+
+
+def run_parallel(
+    g: Graph,
+    aggregator: Aggregator,
+    *,
+    algorithm: str,
+    n_jobs: int,
+    chunk_strategy: str = DEFAULT_CHUNK_STRATEGY,
+    cost_model: str = DEFAULT_COST_MODEL,
+    chunks_per_worker: int = 1,
+    stats: ParallelStats | None = None,
+    **options,
+) -> Counters:
+    """Enumerate ``g``'s maximal cliques across a worker pool.
+
+    The root level is partitioned per-vertex in degeneracy order, packed
+    into ``n_jobs * chunks_per_worker`` cost-balanced chunks, and solved by
+    ``algorithm`` (any registered name, any backend) on induced
+    subproblems.  Results stream into ``aggregator`` with a deterministic
+    merge; the returned :class:`Counters` sum the per-worker counters
+    (``emitted`` equals the true clique count, duplicate candidates
+    filtered by the decomposition are counted under
+    ``suppressed_candidates``).
+    """
+    n_jobs = validate_n_jobs(n_jobs)
+    if isinstance(chunks_per_worker, bool) or not isinstance(chunks_per_worker, int) \
+            or chunks_per_worker < 1:
+        raise InvalidParameterError(
+            f"chunks_per_worker must be a positive integer, got {chunks_per_worker!r}"
+        )
+    _validate_algorithm_options(algorithm, options)
+
+    decomposition = decompose(g, cost_model=cost_model)
+    chunks = make_chunks(
+        decomposition.subproblems,
+        n_jobs * chunks_per_worker,
+        strategy=chunk_strategy,
+    )
+
+    state = WorkerState(
+        graph=g,
+        order=decomposition.order,
+        position=decomposition.position,
+        algorithm=algorithm,
+        options=options,
+        mode=aggregator.mode,
+    )
+
+    aggregator.start(len(decomposition.subproblems))
+    start_method = "inline"
+    if not chunks:
+        pass  # empty graph: nothing to do
+    elif n_jobs == 1 or len(chunks) == 1:
+        for chunk in chunks:
+            aggregator.accept(_solve_chunk(state, chunk))
+    else:
+        ctx, start_method = _pool_context()
+        workers = min(n_jobs, len(chunks))
+        if start_method == "fork":
+            # Children inherit the state through the fork snapshot: the
+            # graph is never pickled, tasks stay a few bytes each.
+            global _WORKER_STATE
+            _WORKER_STATE = state
+            try:
+                with ctx.Pool(processes=workers) as pool:
+                    for result in pool.imap_unordered(_run_chunk, chunks):
+                        aggregator.accept(result)
+            finally:
+                _WORKER_STATE = None
+        else:
+            with ctx.Pool(processes=workers, initializer=_init_worker,
+                          initargs=(state,)) as pool:
+                for result in pool.imap_unordered(_run_chunk, chunks):
+                    aggregator.accept(result)
+
+    if stats is not None:
+        stats.n_jobs = n_jobs
+        stats.n_subproblems = len(decomposition.subproblems)
+        stats.n_chunks = len(chunks)
+        stats.chunk_strategy = chunk_strategy
+        stats.cost_model = cost_model
+        stats.start_method = start_method
+        stats.decompose_seconds = decomposition.seconds
+        stats.balance_ratio = balance_ratio(chunks)
+        stats.chunk_costs = [c.cost for c in chunks]
+        stats.chunk_sizes = [len(c.positions) for c in chunks]
+        stats.chunk_cpu_seconds = dict(aggregator.chunk_cpu_seconds)
+    return aggregator.counters

@@ -1,0 +1,54 @@
+"""Unit tests for the timed-run helper, esp. fastest-run consistency."""
+
+import time
+
+from repro.bench import runner as runner_module
+from repro.bench.runner import measure
+from repro.core.counters import Counters
+from repro.graph.builders import complete_graph
+
+
+class TestMeasure:
+    def test_single_run(self):
+        m = measure(complete_graph(5), "hbbmc++")
+        assert m.cliques == 1
+        assert m.max_clique_size == 5
+        assert m.seconds > 0.0
+        assert m.counters.emitted == 1
+
+    def test_fastest_run_keeps_matching_snapshot(self, monkeypatch):
+        """seconds, cliques and counters must describe the same repeat.
+
+        A stub algorithm whose repeats differ (first slow with 2 cliques,
+        then fast with 1) exposes any mix-and-match: min(seconds) belongs
+        to a fast repeat, so the measurement must report that repeat's
+        clique count and counters, not the last repeat's.
+        """
+        calls = {"n": 0}
+
+        def flaky(g, sink, *, algorithm, **options):
+            calls["n"] += 1
+            counters = Counters()
+            if calls["n"] == 1:  # slow repeat, different answer
+                time.sleep(0.05)
+                sink((0, 1))
+                sink((2,))
+                counters.emitted = 2
+                counters.vertex_calls = 111
+            else:  # fast repeats
+                sink((0, 1))
+                counters.emitted = 1
+                counters.vertex_calls = 5
+            return counters
+
+        monkeypatch.setattr(runner_module, "enumerate_to_sink", flaky)
+        m = measure(complete_graph(3), "hbbmc++", repeats=3)
+        assert m.seconds < 0.05
+        assert m.cliques == 1  # from a fast repeat, same as the timing
+        assert m.counters.vertex_calls == 5
+        assert calls["n"] == 3
+
+    def test_options_forwarded(self):
+        m = measure(complete_graph(4), "hbbmc++", backend="bitset", n_jobs=2)
+        assert m.cliques == 1
+        assert m.max_clique_size == 4

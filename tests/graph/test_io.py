@@ -1,5 +1,7 @@
 """Unit tests for graph readers/writers (round trips + malformed input)."""
 
+import gzip
+
 import pytest
 
 from repro.exceptions import GraphFormatError
@@ -98,6 +100,67 @@ class TestJson:
         path.write_text("{}")
         with pytest.raises(GraphFormatError):
             read_json(path)
+
+
+class TestGzipTransparency:
+    """Every format reads (and writes) ``.gz`` files transparently."""
+
+    def _gzip_copy(self, tmp_path, plain_path, name):
+        gz_path = tmp_path / name
+        gz_path.write_bytes(gzip.compress(plain_path.read_bytes()))
+        return gz_path
+
+    def test_edge_list_gz(self, tmp_path, sample):
+        plain = tmp_path / "g.txt"
+        write_edge_list(sample, plain)
+        gz = self._gzip_copy(tmp_path, plain, "g.txt.gz")
+        loaded = read_edge_list(gz)
+        edges = {tuple(sorted((int(loaded.labels[u]), int(loaded.labels[v]))))
+                 for u, v in loaded.graph.edges()}
+        assert edges == set(sample.edges())
+
+    def test_dimacs_gz(self, tmp_path, sample):
+        plain = tmp_path / "g.col"
+        write_dimacs(sample, plain)
+        gz = self._gzip_copy(tmp_path, plain, "g.col.gz")
+        assert sorted(read_dimacs(gz).edges()) == sorted(sample.edges())
+
+    def test_metis_gz(self, tmp_path, sample):
+        plain = tmp_path / "g.metis"
+        write_metis(sample, plain)
+        gz = self._gzip_copy(tmp_path, plain, "g.metis.gz")
+        assert sorted(read_metis(gz).edges()) == sorted(sample.edges())
+
+    def test_json_gz(self, tmp_path, sample):
+        plain = tmp_path / "g.json"
+        write_json(sample, plain)
+        gz = self._gzip_copy(tmp_path, plain, "g.json.gz")
+        assert sorted(read_json(gz).edges()) == sorted(sample.edges())
+
+    def test_writers_compress(self, tmp_path, sample):
+        gz = tmp_path / "g.txt.gz"
+        write_edge_list(sample, gz)
+        # Really gzip on disk (magic bytes), and round-trips.
+        assert gz.read_bytes()[:2] == b"\x1f\x8b"
+        loaded = read_edge_list(gz)
+        assert loaded.graph.m == sample.m
+
+    def test_uppercase_gz_suffix(self, tmp_path):
+        g = complete_graph(4)
+        path = tmp_path / "G.TXT.GZ"
+        write_edge_list(g, path)
+        assert path.read_bytes()[:2] == b"\x1f\x8b"
+        assert load_graph(path).m == 6
+
+    def test_load_graph_infers_inner_suffix(self, tmp_path):
+        g = complete_graph(4)
+        for suffix, writer in [
+            (".txt.gz", write_edge_list), (".col.gz", write_dimacs),
+            (".metis.gz", write_metis), (".json.gz", write_json),
+        ]:
+            path = tmp_path / f"g{suffix}"
+            writer(g, path)
+            assert load_graph(path).m == 6
 
 
 class TestLoadGraph:

@@ -1,0 +1,150 @@
+"""Unit tests for the worker-pool driver and its validation surface."""
+
+import pytest
+
+from repro.api import count_maximal_cliques, enumerate_to_sink, maximal_cliques
+from repro.core.result import CliqueCollector
+from repro.exceptions import InvalidParameterError
+from repro.graph.adjacency import Graph
+from repro.graph.generators import erdos_renyi_gnm
+from repro.parallel import (
+    CollectAggregator,
+    CountAggregator,
+    ParallelStats,
+    parse_jobs,
+    run_parallel,
+    validate_n_jobs,
+)
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return erdos_renyi_gnm(50, 400, seed=6)
+
+
+@pytest.fixture(scope="module")
+def reference(graph):
+    return maximal_cliques(graph)
+
+
+class TestValidation:
+    @pytest.mark.parametrize("bad", [0, -1, -7, 2.5, "3", None, True, False])
+    def test_validate_n_jobs_rejects(self, bad):
+        with pytest.raises(InvalidParameterError):
+            validate_n_jobs(bad)
+
+    def test_validate_n_jobs_accepts(self):
+        assert validate_n_jobs(1) == 1
+        assert validate_n_jobs(8) == 8
+
+    @pytest.mark.parametrize("bad", ["0", "-2", "two", "", "1.5"])
+    def test_parse_jobs_rejects(self, bad):
+        with pytest.raises(InvalidParameterError) as excinfo:
+            parse_jobs(bad)
+        assert "--jobs" in str(excinfo.value)
+
+    def test_parse_jobs_accepts(self):
+        assert parse_jobs("4") == 4
+
+    def test_bad_algorithm_fails_before_pool(self, graph):
+        with pytest.raises(Exception) as excinfo:
+            maximal_cliques(graph, algorithm="nope", n_jobs=2)
+        assert "nope" in str(excinfo.value)
+
+    def test_bad_backend_fails_before_pool(self, graph):
+        with pytest.raises(InvalidParameterError):
+            maximal_cliques(graph, n_jobs=2, backend="nope")
+
+    def test_bad_et_threshold_fails_before_pool(self, graph):
+        with pytest.raises(InvalidParameterError):
+            maximal_cliques(graph, n_jobs=2, et_threshold=9)
+
+    def test_scheduler_knobs_require_n_jobs(self, graph):
+        with pytest.raises(InvalidParameterError):
+            maximal_cliques(graph, chunk_strategy="greedy")
+        with pytest.raises(InvalidParameterError):
+            count_maximal_cliques(graph, cost_model="edges")
+
+    def test_bad_chunks_per_worker(self, graph):
+        with pytest.raises(InvalidParameterError):
+            run_parallel(graph, CountAggregator(), algorithm="hbbmc++",
+                         n_jobs=2, chunks_per_worker=0)
+
+
+class TestRunParallel:
+    def test_counters_account_for_every_clique(self, graph, reference):
+        agg = CollectAggregator()
+        counters = run_parallel(graph, agg, algorithm="hbbmc++", n_jobs=2)
+        cliques = agg.finish()
+        assert counters.emitted == len(cliques) == len(reference)
+        assert counters.total_calls > 0
+
+    def test_inline_and_pool_agree(self, graph, reference):
+        for n_jobs in (1, 3):
+            agg = CollectAggregator()
+            run_parallel(graph, agg, algorithm="hbbmc++", n_jobs=n_jobs)
+            assert sorted(agg.finish()) == reference
+
+    @pytest.mark.parametrize("strategy", ["greedy", "contiguous", "round-robin"])
+    def test_all_strategies_agree(self, graph, reference, strategy):
+        agg = CollectAggregator()
+        run_parallel(graph, agg, algorithm="hbbmc++", n_jobs=2,
+                     chunk_strategy=strategy)
+        assert sorted(agg.finish()) == reference
+
+    @pytest.mark.parametrize("model", ["uniform", "candidates", "edges", "triangles"])
+    def test_all_cost_models_agree(self, graph, reference, model):
+        agg = CollectAggregator()
+        run_parallel(graph, agg, algorithm="hbbmc++", n_jobs=2,
+                     cost_model=model)
+        assert sorted(agg.finish()) == reference
+
+    def test_chunks_per_worker_oversubscription(self, graph, reference):
+        agg = CollectAggregator()
+        stats = ParallelStats()
+        run_parallel(graph, agg, algorithm="hbbmc++", n_jobs=2,
+                     chunks_per_worker=3, stats=stats)
+        assert sorted(agg.finish()) == reference
+        assert stats.n_chunks == 6
+
+    def test_stats_filled(self, graph):
+        stats = ParallelStats()
+        run_parallel(graph, CountAggregator(), algorithm="hbbmc++",
+                     n_jobs=2, stats=stats)
+        assert stats.n_jobs == 2
+        assert stats.n_subproblems == graph.n
+        assert stats.n_chunks == 2
+        assert 0.0 < stats.balance_ratio <= 1.0
+        assert len(stats.chunk_cpu_seconds) == 2
+        assert sum(stats.chunk_sizes) == graph.n
+        assert stats.start_method in ("fork", "spawn", "forkserver")
+
+
+class TestApiIntegration:
+    def test_enumerate_to_sink_streams_deterministically(self, graph):
+        streams = []
+        for _ in range(2):
+            collector = CliqueCollector()
+            enumerate_to_sink(graph, collector, n_jobs=2)
+            streams.append(list(collector.cliques))
+        assert streams[0] == streams[1]
+        # Same stream as the in-process partitioned run.
+        collector = CliqueCollector()
+        enumerate_to_sink(graph, collector, n_jobs=1)
+        assert collector.cliques == streams[0]
+
+    def test_count_matches_collect(self, graph, reference):
+        assert count_maximal_cliques(graph, n_jobs=2) == len(reference)
+
+    def test_unsorted_output_is_position_ordered(self, graph):
+        a = maximal_cliques(graph, sort=False, n_jobs=2)
+        b = maximal_cliques(graph, sort=False, n_jobs=3)
+        assert a == b
+
+    def test_empty_graph(self):
+        assert maximal_cliques(Graph(0), n_jobs=2) == []
+        assert count_maximal_cliques(Graph(0), n_jobs=2) == 0
+
+    def test_single_vertex(self):
+        assert maximal_cliques(Graph(1), n_jobs=2) == [(0,)]
+        assert count_maximal_cliques(Graph(1), n_jobs=2) == 1

@@ -1,0 +1,81 @@
+"""Unit tests for the chunking strategies."""
+
+import pytest
+
+from repro.exceptions import InvalidParameterError
+from repro.parallel.decompose import Subproblem
+from repro.parallel.scheduler import (
+    CHUNK_STRATEGIES,
+    balance_ratio,
+    make_chunks,
+)
+
+
+def _subs(costs):
+    return [Subproblem(position=i, vertex=i, cost=c)
+            for i, c in enumerate(costs)]
+
+
+class TestMakeChunks:
+    @pytest.mark.parametrize("strategy", CHUNK_STRATEGIES)
+    def test_exact_cover(self, strategy):
+        subs = _subs([5, 1, 3, 2, 8, 1, 1, 4])
+        chunks = make_chunks(subs, 3, strategy=strategy)
+        covered = [p for c in chunks for p in c.positions]
+        assert sorted(covered) == list(range(len(subs)))
+        assert len(covered) == len(set(covered))
+        assert all(c.positions == tuple(sorted(c.positions)) for c in chunks)
+        assert [c.index for c in chunks] == list(range(len(chunks)))
+
+    @pytest.mark.parametrize("strategy", CHUNK_STRATEGIES)
+    def test_deterministic(self, strategy):
+        subs = _subs([3, 3, 3, 1, 1, 9])
+        a = make_chunks(subs, 4, strategy=strategy)
+        b = make_chunks(subs, 4, strategy=strategy)
+        assert a == b
+
+    def test_greedy_balances_skewed_costs(self):
+        # One giant + many small: LPT must isolate the giant.
+        subs = _subs([100] + [1] * 100)
+        chunks = make_chunks(subs, 2, strategy="greedy")
+        assert balance_ratio(chunks) == pytest.approx(1.0)
+
+    def test_greedy_beats_round_robin_on_skew(self):
+        subs = _subs([50, 1, 50, 1, 50, 1, 50, 1])
+        greedy = balance_ratio(make_chunks(subs, 4, strategy="greedy"))
+        rr = balance_ratio(make_chunks(subs, 4, strategy="round-robin"))
+        assert greedy > rr
+
+    def test_contiguous_preserves_order_runs(self):
+        subs = _subs([1] * 12)
+        chunks = make_chunks(subs, 3, strategy="contiguous")
+        for c in chunks:
+            lo, hi = c.positions[0], c.positions[-1]
+            assert c.positions == tuple(range(lo, hi + 1))
+
+    def test_more_chunks_than_subproblems(self):
+        subs = _subs([1, 2])
+        for strategy in CHUNK_STRATEGIES:
+            chunks = make_chunks(subs, 8, strategy=strategy)
+            assert 1 <= len(chunks) <= 2
+            assert sorted(p for c in chunks for p in c.positions) == [0, 1]
+
+    def test_empty_input(self):
+        assert make_chunks([], 4) == []
+
+    def test_bad_strategy(self):
+        with pytest.raises(InvalidParameterError):
+            make_chunks(_subs([1]), 2, strategy="vibes")
+
+    def test_bad_chunk_count(self):
+        with pytest.raises(InvalidParameterError):
+            make_chunks(_subs([1]), 0)
+
+
+class TestBalanceRatio:
+    def test_empty_is_perfect(self):
+        assert balance_ratio([]) == 1.0
+
+    def test_even_chunks_are_perfect(self):
+        chunks = make_chunks(_subs([2, 2, 2, 2]), 2, strategy="round-robin")
+        assert balance_ratio(chunks) == pytest.approx(1.0)

@@ -1,0 +1,80 @@
+"""Property tests: parallel and serial enumeration are observationally equal.
+
+For every generator family, algorithm, backend and worker count the
+degeneracy-partitioned pool must produce the *identical* canonical clique
+list (and therefore total count) as the classic single-process run — the
+decomposition is a scheduling change, never an algorithmic one.
+"""
+
+import pytest
+
+from repro.api import count_maximal_cliques, maximal_cliques
+from repro.graph.adjacency import Graph
+from repro.graph.generators import (
+    barabasi_albert,
+    erdos_renyi_gnm,
+    ring_of_cliques,
+)
+
+ALGORITHMS_UNDER_TEST = ["hbbmc++", "ebbmc++", "bk-pivot"]
+BACKENDS_UNDER_TEST = ["set", "bitset"]
+N_JOBS_UNDER_TEST = [1, 2, 4]
+
+
+def _generator_cases():
+    return [
+        ("erdos-renyi", erdos_renyi_gnm(45, 320, seed=1)),
+        ("barabasi-albert", barabasi_albert(50, 5, seed=2)),
+        ("ring-of-cliques", ring_of_cliques(6, 4)),
+    ]
+
+
+GENERATOR_CASES = _generator_cases()
+
+_REFERENCE_CACHE: dict[tuple[str, str, str], list] = {}
+
+
+def _reference(name, graph, algorithm, backend):
+    key = (name, algorithm, backend)
+    if key not in _REFERENCE_CACHE:
+        _REFERENCE_CACHE[key] = maximal_cliques(
+            graph, algorithm=algorithm, backend=backend)
+    return _REFERENCE_CACHE[key]
+
+
+@pytest.mark.parametrize("n_jobs", N_JOBS_UNDER_TEST)
+@pytest.mark.parametrize("backend", BACKENDS_UNDER_TEST)
+@pytest.mark.parametrize("algorithm", ALGORITHMS_UNDER_TEST)
+@pytest.mark.parametrize(
+    "name,graph", GENERATOR_CASES, ids=[n for n, _ in GENERATOR_CASES])
+def test_parallel_equals_serial(name, graph, algorithm, backend, n_jobs):
+    serial = _reference(name, graph, algorithm, backend)
+    parallel = maximal_cliques(
+        graph, algorithm=algorithm, backend=backend, n_jobs=n_jobs)
+    assert parallel == serial
+    assert count_maximal_cliques(
+        graph, algorithm=algorithm, backend=backend, n_jobs=n_jobs
+    ) == len(serial)
+
+
+@pytest.mark.parametrize("backend", BACKENDS_UNDER_TEST)
+@pytest.mark.parametrize("n_jobs", [1, 2, 4])
+def test_empty_graph(backend, n_jobs):
+    g = Graph(0)
+    assert maximal_cliques(g, backend=backend, n_jobs=n_jobs) == []
+    assert count_maximal_cliques(g, backend=backend, n_jobs=n_jobs) == 0
+
+
+@pytest.mark.parametrize("backend", BACKENDS_UNDER_TEST)
+@pytest.mark.parametrize("n_jobs", [1, 2, 4])
+def test_single_vertex(backend, n_jobs):
+    g = Graph(1)
+    assert maximal_cliques(g, backend=backend, n_jobs=n_jobs) == [(0,)]
+    assert count_maximal_cliques(g, backend=backend, n_jobs=n_jobs) == 1
+
+
+@pytest.mark.parametrize("n_jobs", [2, 4])
+def test_isolated_vertices_and_one_edge(n_jobs):
+    g = Graph(4)
+    g.add_edge(1, 3)
+    assert maximal_cliques(g, n_jobs=n_jobs) == [(0,), (1, 3), (2,)]

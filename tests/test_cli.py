@@ -59,6 +59,46 @@ class TestBackendFlag:
         assert "skipped" in out  # reverse-search has no bitset backend
 
 
+class TestJobsFlag:
+    def test_enumerate_parallel_matches_serial(self, graph_file, capsys):
+        assert main(["enumerate", graph_file]) == 0
+        serial = capsys.readouterr().out
+        assert main(["enumerate", graph_file, "--jobs", "2"]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_count_with_jobs_and_strategy(self, graph_file, capsys):
+        assert main(["count", graph_file, "--jobs", "2",
+                     "--chunk-strategy", "contiguous"]) == 0
+        assert "1" in capsys.readouterr().out.split()
+
+    def test_verify_with_jobs(self, graph_file, capsys):
+        assert main(["verify", graph_file, "--jobs", "2"]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("bad", ["0", "-4", "two", "1.5"])
+    def test_invalid_jobs_exits_2_with_one_line(self, graph_file, bad, capsys):
+        assert main(["count", graph_file, "--jobs", bad]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "--jobs" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_chunk_strategy_without_jobs_exits_2(self, graph_file, capsys):
+        assert main(["enumerate", graph_file,
+                     "--chunk-strategy", "contiguous"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "--jobs" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_jobs_documented_in_help(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["enumerate", "--help"])
+        out = capsys.readouterr().out
+        assert "--jobs" in out
+        assert "--chunk-strategy" in out
+
+
 class TestErrorExits:
     """User errors must exit with code 2 and one line, not a traceback."""
 
