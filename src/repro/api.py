@@ -28,10 +28,13 @@ also accept ``n_jobs=N`` to fan the enumeration out over the
 degeneracy-partitioned worker pool (:mod:`repro.parallel`): the root level
 splits into per-vertex subproblems packed into cost-balanced chunks
 (``chunk_strategy=``, ``cost_model=``), each solved by the selected
-algorithm/backend in a worker process.  Results merge deterministically,
-so every ``n_jobs`` value yields the identical clique stream; ``n_jobs=1``
-runs the same partitioned pipeline in-process and ``n_jobs=None`` (the
-default) is the classic single-process path.
+algorithm/backend in a worker process.  Subproblems are X-set-aware by
+default — each worker seeds its engine's exclusion set from the degeneracy
+order so no branch is explored twice across workers (``x_aware=False``
+restores the enumerate-then-filter decomposition).  Results merge
+deterministically, so every ``n_jobs`` value yields the identical clique
+stream; ``n_jobs=1`` runs the same partitioned pipeline in-process and
+``n_jobs=None`` (the default) is the classic single-process path.
 """
 
 from __future__ import annotations
@@ -66,16 +69,43 @@ AlgorithmFn = Callable[..., Counters]
 
 @dataclass(frozen=True)
 class AlgorithmSpec:
-    """Registry entry: a runnable algorithm plus its description."""
+    """Registry entry: a runnable algorithm plus its description.
+
+    ``supports_initial_x`` records whether the runner accepts an
+    ``initial_x`` seeded exclusion set — every branch-and-bound framework
+    does; output-sensitive algorithms (reverse search) do not, and the
+    X-aware parallel decomposition falls back to its filtering path for
+    them.
+
+    ``subproblem_phase`` declares how an X-aware parallel subproblem runs
+    the algorithm *below* the decomposition's per-vertex root: keyword
+    arguments (``vertex_strategy``, ``et_threshold``) for
+    :func:`repro.core.phases.make_context`, executed in place on the whole
+    graph's adjacency with the branch ``(S={v}, C=later, X=earlier)``.
+    This is exact for every hybrid/vertex algorithm — their sub-root
+    engine *is* the vertex phase, and a subproblem's candidate set is
+    already degeneracy-bounded, which is the bound the hybrid's top-level
+    edge branching exists to beat — and it skips the per-subproblem
+    subgraph/ordering/framework prologue that would otherwise dominate.
+    ``None`` (the pure edge-oriented family) means the subproblem instead
+    runs the full registered framework on a compact branch graph with
+    ``initial_x`` seeded.
+    """
 
     name: str
     runner: AlgorithmFn
     description: str
     family: str  # "hybrid", "vertex", "edge" or "reverse-search"
+    supports_initial_x: bool = True
+    subproblem_phase: dict | None = None
 
 
-def _spec(name: str, runner: AlgorithmFn, description: str, family: str) -> AlgorithmSpec:
-    return AlgorithmSpec(name=name, runner=runner, description=description, family=family)
+def _spec(name: str, runner: AlgorithmFn, description: str, family: str,
+          supports_initial_x: bool = True,
+          subproblem_phase: dict | None = None) -> AlgorithmSpec:
+    return AlgorithmSpec(name=name, runner=runner, description=description,
+                         family=family, supports_initial_x=supports_initial_x,
+                         subproblem_phase=subproblem_phase)
 
 
 ALGORITHMS: dict[str, AlgorithmSpec] = {
@@ -84,11 +114,14 @@ ALGORITHMS: dict[str, AlgorithmSpec] = {
         # --- the paper's contribution ------------------------------------
         _spec("hbbmc++", partial(run_hybrid, et_threshold=3, graph_reduction=True),
               "HBBMC + early termination (t=3) + graph reduction (full version)",
-              "hybrid"),
+              "hybrid",
+              subproblem_phase={"vertex_strategy": "tomita", "et_threshold": 3}),
         _spec("hbbmc+", partial(run_hybrid, et_threshold=0, graph_reduction=True),
-              "HBBMC + graph reduction, without early termination", "hybrid"),
+              "HBBMC + graph reduction, without early termination", "hybrid",
+              subproblem_phase={"vertex_strategy": "tomita", "et_threshold": 0}),
         _spec("hbbmc", partial(run_hybrid, et_threshold=0, graph_reduction=False),
-              "plain hybrid framework (Algorithm 4)", "hybrid"),
+              "plain hybrid framework (Algorithm 4)", "hybrid",
+              subproblem_phase={"vertex_strategy": "tomita", "et_threshold": 0}),
         _spec("ebbmc", partial(run_hybrid, edge_depth=None, et_threshold=0,
                                graph_reduction=False),
               "pure edge-oriented framework (Algorithm 3)", "edge"),
@@ -98,41 +131,59 @@ ALGORITHMS: dict[str, AlgorithmSpec] = {
         # --- hybrid with alternative vertex phases (Table III) -----------
         _spec("ref++", partial(run_hybrid, vertex_strategy="ref",
                                et_threshold=3, graph_reduction=True),
-              "hybrid top + BK_Ref phase + ET + GR", "hybrid"),
+              "hybrid top + BK_Ref phase + ET + GR", "hybrid",
+              subproblem_phase={"vertex_strategy": "ref", "et_threshold": 3}),
         _spec("rcd++", partial(run_hybrid, vertex_strategy="rcd",
                                et_threshold=3, graph_reduction=True),
-              "hybrid top + BK_Rcd phase + ET + GR", "hybrid"),
+              "hybrid top + BK_Rcd phase + ET + GR", "hybrid",
+              subproblem_phase={"vertex_strategy": "rcd", "et_threshold": 3}),
         _spec("fac++", partial(run_hybrid, vertex_strategy="fac",
                                et_threshold=3, graph_reduction=True),
-              "hybrid top + BK_Fac phase + ET + GR", "hybrid"),
+              "hybrid top + BK_Fac phase + ET + GR", "hybrid",
+              subproblem_phase={"vertex_strategy": "fac", "et_threshold": 3}),
         # --- alternative initial orderings (Table VI) ---------------------
         _spec("vbbmc-dgn", partial(run_vertex, ordering_kind="degeneracy",
                                    vertex_strategy="tomita", et_threshold=3,
                                    graph_reduction=True),
               "vertex-oriented initial branch (degeneracy) + ET + GR",
-              "vertex"),
+              "vertex",
+              subproblem_phase={"vertex_strategy": "tomita", "et_threshold": 3}),
         _spec("hbbmc-dgn", partial(run_hybrid, edge_order_kind="degen-lex",
                                    et_threshold=3, graph_reduction=True),
-              "hybrid with degeneracy-lexicographic edge order", "hybrid"),
+              "hybrid with degeneracy-lexicographic edge order", "hybrid",
+              subproblem_phase={"vertex_strategy": "tomita", "et_threshold": 3}),
         _spec("hbbmc-mdg", partial(run_hybrid, edge_order_kind="min-degree",
                                    et_threshold=3, graph_reduction=True),
-              "hybrid with min-endpoint-degree edge order", "hybrid"),
+              "hybrid with min-endpoint-degree edge order", "hybrid",
+              subproblem_phase={"vertex_strategy": "tomita", "et_threshold": 3}),
         # --- the paper's four baselines (Table II) ------------------------
-        _spec("rref", rref, "BK_Ref + graph reduction (Deng et al.)", "vertex"),
-        _spec("rdegen", rdegen, "BK_Degen + graph reduction (Deng et al.)", "vertex"),
-        _spec("rrcd", rrcd, "BK_Rcd + graph reduction (Deng et al.)", "vertex"),
-        _spec("rfac", rfac, "BK_Fac + graph reduction (Deng et al.)", "vertex"),
+        _spec("rref", rref, "BK_Ref + graph reduction (Deng et al.)", "vertex",
+              subproblem_phase={"vertex_strategy": "ref", "et_threshold": 0}),
+        _spec("rdegen", rdegen, "BK_Degen + graph reduction (Deng et al.)", "vertex",
+              subproblem_phase={"vertex_strategy": "tomita", "et_threshold": 0}),
+        _spec("rrcd", rrcd, "BK_Rcd + graph reduction (Deng et al.)", "vertex",
+              subproblem_phase={"vertex_strategy": "rcd", "et_threshold": 0}),
+        _spec("rfac", rfac, "BK_Fac + graph reduction (Deng et al.)", "vertex",
+              subproblem_phase={"vertex_strategy": "fac", "et_threshold": 0}),
         # --- classic family (Appendix A) ----------------------------------
-        _spec("bk", bk, "original Bron-Kerbosch, no pivot", "vertex"),
-        _spec("bk-pivot", bk_pivot, "Tomita pivoting", "vertex"),
-        _spec("bk-ref", bk_ref, "Naudé refined pivoting", "vertex"),
-        _spec("bk-degen", bk_degen, "degeneracy-ordered initial branch", "vertex"),
-        _spec("bk-degree", bk_degree, "degree-ordered initial branch", "vertex"),
-        _spec("bk-rcd", bk_rcd, "top-down min-degree peeling", "vertex"),
-        _spec("bk-fac", bk_fac, "adaptive pivot refinement", "vertex"),
+        _spec("bk", bk, "original Bron-Kerbosch, no pivot", "vertex",
+              subproblem_phase={"vertex_strategy": "none", "et_threshold": 0}),
+        _spec("bk-pivot", bk_pivot, "Tomita pivoting", "vertex",
+              subproblem_phase={"vertex_strategy": "tomita", "et_threshold": 0}),
+        _spec("bk-ref", bk_ref, "Naudé refined pivoting", "vertex",
+              subproblem_phase={"vertex_strategy": "ref", "et_threshold": 0}),
+        _spec("bk-degen", bk_degen, "degeneracy-ordered initial branch", "vertex",
+              subproblem_phase={"vertex_strategy": "tomita", "et_threshold": 0}),
+        _spec("bk-degree", bk_degree, "degree-ordered initial branch", "vertex",
+              subproblem_phase={"vertex_strategy": "tomita", "et_threshold": 0}),
+        _spec("bk-rcd", bk_rcd, "top-down min-degree peeling", "vertex",
+              subproblem_phase={"vertex_strategy": "rcd", "et_threshold": 0}),
+        _spec("bk-fac", bk_fac, "adaptive pivot refinement", "vertex",
+              subproblem_phase={"vertex_strategy": "fac", "et_threshold": 0}),
         # --- related work ---------------------------------------------------
         _spec("reverse-search", reverse_search,
-              "output-sensitive lexicographic reverse search", "reverse-search"),
+              "output-sensitive lexicographic reverse search", "reverse-search",
+              supports_initial_x=False),
     ]
 }
 
@@ -157,6 +208,7 @@ def enumerate_to_sink(
     n_jobs: int | None = None,
     chunk_strategy: str | None = None,
     cost_model: str | None = None,
+    x_aware: bool | None = None,
     **options,
 ) -> Counters:
     """Stream all maximal cliques of ``g`` into ``sink``.
@@ -167,6 +219,8 @@ def enumerate_to_sink(
     across N worker processes (see :mod:`repro.parallel`); the stream
     order is deterministic — degeneracy-position order of the subproblem,
     canonical within each subproblem — independent of worker scheduling.
+    Parallel subproblems are X-set-aware by default; ``x_aware=False``
+    restores the enumerate-then-filter decomposition.
     """
     if n_jobs is not None:
         from repro.parallel import CallbackAggregator, run_parallel
@@ -174,34 +228,48 @@ def enumerate_to_sink(
         aggregator = CallbackAggregator(sink)
         counters = run_parallel(
             g, aggregator, algorithm=algorithm, n_jobs=n_jobs,
-            **_parallel_kwargs(chunk_strategy, cost_model), **options,
+            **_parallel_kwargs(chunk_strategy, cost_model, x_aware),
+            **options,
         )
         aggregator.finish()
         return counters
-    _reject_serial_parallel_options(chunk_strategy, cost_model)
+    _reject_serial_parallel_options(chunk_strategy, cost_model, x_aware)
     spec = get_algorithm(algorithm)
+    if "initial_x" in options and not spec.supports_initial_x:
+        from repro.exceptions import InvalidParameterError
+
+        raise InvalidParameterError(
+            f"algorithm {algorithm!r} does not support initial_x (it cannot "
+            "seed an exclusion set)"
+        )
     runner = partial(spec.runner, **options) if options else spec.runner
     return runner(g, sink)
 
 
-def _parallel_kwargs(chunk_strategy: str | None, cost_model: str | None) -> dict:
+def _parallel_kwargs(chunk_strategy: str | None, cost_model: str | None,
+                     x_aware: bool | None = None) -> dict:
     kwargs = {}
     if chunk_strategy is not None:
         kwargs["chunk_strategy"] = chunk_strategy
     if cost_model is not None:
         kwargs["cost_model"] = cost_model
+    if x_aware is not None:
+        kwargs["x_aware"] = x_aware
     return kwargs
 
 
 def _reject_serial_parallel_options(
-    chunk_strategy: str | None, cost_model: str | None
+    chunk_strategy: str | None, cost_model: str | None,
+    x_aware: bool | None = None,
 ) -> None:
     """Scheduling knobs without ``n_jobs`` are almost certainly a mistake."""
     from repro.exceptions import InvalidParameterError
 
-    if chunk_strategy is not None or cost_model is not None:
+    if chunk_strategy is not None or cost_model is not None \
+            or x_aware is not None:
         raise InvalidParameterError(
-            "chunk_strategy/cost_model require n_jobs (the parallel path)"
+            "chunk_strategy/cost_model/x_aware require n_jobs "
+            "(the parallel path)"
         )
 
 
@@ -213,6 +281,7 @@ def maximal_cliques(
     n_jobs: int | None = None,
     chunk_strategy: str | None = None,
     cost_model: str | None = None,
+    x_aware: bool | None = None,
     **options,
 ) -> list[tuple[int, ...]]:
     """All maximal cliques of ``g`` as a list of vertex tuples.
@@ -226,7 +295,8 @@ def maximal_cliques(
     collector = CliqueCollector()
     enumerate_to_sink(
         g, collector, algorithm=algorithm, n_jobs=n_jobs,
-        chunk_strategy=chunk_strategy, cost_model=cost_model, **options,
+        chunk_strategy=chunk_strategy, cost_model=cost_model,
+        x_aware=x_aware, **options,
     )
     if sort:
         return collector.sorted_cliques()
@@ -240,6 +310,7 @@ def count_maximal_cliques(
     n_jobs: int | None = None,
     chunk_strategy: str | None = None,
     cost_model: str | None = None,
+    x_aware: bool | None = None,
     **options,
 ) -> int:
     """Number of maximal cliques of ``g`` (O(1) memory beyond the run).
@@ -253,10 +324,11 @@ def count_maximal_cliques(
         aggregator = CountAggregator()
         run_parallel(
             g, aggregator, algorithm=algorithm, n_jobs=n_jobs,
-            **_parallel_kwargs(chunk_strategy, cost_model), **options,
+            **_parallel_kwargs(chunk_strategy, cost_model, x_aware),
+            **options,
         )
         return aggregator.finish()
-    _reject_serial_parallel_options(chunk_strategy, cost_model)
+    _reject_serial_parallel_options(chunk_strategy, cost_model, x_aware)
     counter = CliqueCounter()
     enumerate_to_sink(g, counter, algorithm=algorithm, **options)
     return counter.count
@@ -269,6 +341,7 @@ def run_with_report(
     n_jobs: int | None = None,
     chunk_strategy: str | None = None,
     cost_model: str | None = None,
+    x_aware: bool | None = None,
     **options,
 ) -> RunReport:
     """Run an algorithm and return timing + counters (benchmark building block).
@@ -284,11 +357,12 @@ def run_with_report(
         aggregator = CountAggregator()
         counters = run_parallel(
             g, aggregator, algorithm=algorithm, n_jobs=n_jobs,
-            **_parallel_kwargs(chunk_strategy, cost_model), **options,
+            **_parallel_kwargs(chunk_strategy, cost_model, x_aware),
+            **options,
         )
         count = aggregator.finish()
     else:
-        _reject_serial_parallel_options(chunk_strategy, cost_model)
+        _reject_serial_parallel_options(chunk_strategy, cost_model, x_aware)
         counter = CliqueCounter()
         counters = enumerate_to_sink(g, counter, algorithm=algorithm, **options)
         count = counter.count

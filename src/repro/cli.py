@@ -58,6 +58,10 @@ def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
                         help="how subproblems are packed into worker chunks "
                              f"(default: {DEFAULT_CHUNK_STRATEGY}; requires "
                              "--jobs)")
+    parser.add_argument("--no-x-aware", action="store_true",
+                        help="disable X-set-aware subproblems: enumerate "
+                             "each subproblem fully, then filter duplicated "
+                             "cliques (requires --jobs; default: X-aware)")
 
 
 def _parallel_options(args: argparse.Namespace) -> dict:
@@ -71,10 +75,16 @@ def _parallel_options(args: argparse.Namespace) -> dict:
             raise InvalidParameterError(
                 "--chunk-strategy requires --jobs (the parallel path)"
             )
+        if args.no_x_aware:
+            raise InvalidParameterError(
+                "--no-x-aware requires --jobs (the parallel path)"
+            )
         return {}
     options = {"n_jobs": parse_jobs(args.jobs)}
     if args.chunk_strategy is not None:
         options["chunk_strategy"] = args.chunk_strategy
+    if args.no_x_aware:
+        options["x_aware"] = False
     return options
 
 

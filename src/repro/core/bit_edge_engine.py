@@ -172,6 +172,32 @@ def bit_edge_phase(
             S.pop()
 
 
+def bit_run_edge_root_with_x(
+    g: Graph,
+    bg: BitGraph,
+    C: int,
+    X: int,
+    ordering: EdgeOrdering,
+    depth: int | None,
+    ctx: EngineContext,
+) -> None:
+    """The initial branch of a subproblem seeded with exclusion state.
+
+    Bitmask twin of :func:`repro.core.edge_engine.run_edge_root_with_x`:
+    one :func:`bit_edge_phase` call at ``threshold = -1`` on the branch
+    ``(S = {}, C, X)``.  ``bg`` must be the identity-mapped bit view of
+    ``g`` (including the ``C``–``X`` edges); ``ordering`` only needs to
+    rank the edges of ``G[C]``.
+    """
+    adj = bg.masks
+    n = g.n
+    rank: dict[int, int] = {
+        u * n + v: r for r, (u, v) in enumerate(ordering.order)
+    }
+    cand = {w: adj[w] & C for w in iter_bits(C)}
+    bit_edge_phase([], C, X, cand, adj, rank, n, -1, depth, ctx)
+
+
 def bit_run_edge_root(
     g: Graph,
     bg: BitGraph,

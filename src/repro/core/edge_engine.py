@@ -177,6 +177,37 @@ def edge_phase(
             S.pop()
 
 
+def run_edge_root_with_x(
+    g: Graph,
+    C: set[int],
+    X: set[int],
+    ordering: EdgeOrdering,
+    depth: int | None,
+    ctx: EngineContext,
+) -> None:
+    """The initial branch of a subproblem that starts with exclusion state.
+
+    Semantically :func:`edge_phase` at ``threshold = -1`` on the branch
+    ``(S = {}, C, X)``: every ``C``-internal pair is a candidate edge and
+    the seeded ``X`` vetoes maximality throughout the recursion.  This is
+    the entry point of the X-set-aware parallel decomposition, where ``X``
+    holds the subproblem root's earlier neighbours in the degeneracy
+    order; the plain initial branch (``X = {}``, ``C = V``) keeps the
+    specialised triangle pass of :func:`run_edge_root` instead.
+
+    ``ordering`` only needs to rank the edges of ``G[C]`` (edges incident
+    to ``X`` are never branch targets); ``g`` must still contain the
+    ``C``–``X`` edges, which feed the exclusion sets.
+    """
+    adj = g.adj
+    n = g.n
+    rank: dict[int, int] = {
+        u * n + v: r for r, (u, v) in enumerate(ordering.order)
+    }
+    cand = {w: adj[w] & C for w in C}
+    edge_phase([], set(C), set(X), cand, adj, rank, n, -1, depth, ctx)
+
+
 def run_edge_root(
     g: Graph,
     ordering: EdgeOrdering,

@@ -11,12 +11,21 @@ branch state) or ``backend="bitset"`` (bitmask branch state, see
 sets (and agree on ``Counters.emitted``); because pivot degree-ties
 resolve in different scan orders, per-branch instrumentation counters may
 differ by a few counts between them.
+
+Both also accept ``initial_x``, a set of vertex ids seeded into the
+exclusion set of the initial branch: the run then enumerates exactly the
+maximal cliques of ``G[V \\ initial_x]`` that no ``initial_x`` vertex
+extends.  This is the branch ``(S = {}, C = V \\ X, X)`` of the textbook
+recursion, and it is what makes the parallel decomposition's subproblems
+duplication-free (:mod:`repro.parallel.decompose`).  With a non-empty
+``initial_x`` graph reduction is bypassed — its peel-and-emit step assumes
+an empty exclusion context.
 """
 
 from __future__ import annotations
 
 from repro.core.counters import Counters
-from repro.core.edge_engine import run_edge_root
+from repro.core.edge_engine import run_edge_root, run_edge_root_with_x
 from repro.core.phases import BACKENDS, make_context
 from repro.core.reduction import reduce_graph
 from repro.core.result import CliqueSink, suppressing_sink
@@ -51,6 +60,31 @@ def _validate_run_options(et_threshold: int, backend: str) -> None:
         )
 
 
+def _normalize_initial_x(g: Graph, initial_x) -> frozenset[int]:
+    """Validate the seeded exclusion set against ``g``'s vertex range."""
+    if initial_x is None:
+        return frozenset()
+    xs = frozenset(initial_x)
+    for v in xs:
+        if isinstance(v, bool) or not isinstance(v, int) or not 0 <= v < g.n:
+            raise InvalidParameterError(
+                f"initial_x must contain vertex ids of g (0..{g.n - 1}); "
+                f"got {v!r}"
+            )
+    return xs
+
+
+def _candidate_edge_graph(work: Graph, C: frozenset[int] | set[int]) -> Graph:
+    """``G[C]`` on the same vertex ids — the edges the root may branch on."""
+    cand_graph = Graph(work.n)
+    adj = work.adj
+    for u in C:
+        for w in adj[u] & C:
+            if u < w:
+                cand_graph.add_edge(u, w)
+    return cand_graph
+
+
 def _apply_reduction(
     g: Graph,
     counted_sink: CliqueSink,
@@ -83,6 +117,7 @@ def run_hybrid(
     edge_order_kind: str = "truss",
     vertex_strategy: str = "tomita",
     backend: str = "set",
+    initial_x: set[int] | frozenset[int] | None = None,
     counters: Counters | None = None,
 ) -> Counters:
     """HBBMC / EBBMC: edge-oriented branching at the top of the tree.
@@ -91,13 +126,17 @@ def run_hybrid(
         g: input graph.
         sink: receives each maximal clique as a tuple of vertex ids.
         et_threshold: t for early termination (0 disables, max 3).
-        graph_reduction: peel low-degree vertices first (GR).
+        graph_reduction: peel low-degree vertices first (GR).  Bypassed
+            when ``initial_x`` is non-empty.
         edge_depth: number of edge-branching levels (1 = HBBMC,
             ``None`` = pure EBBMC, 2/3 = the Table IV variants).
         edge_order_kind: "truss" (default), "degen-lex" or "min-degree".
         vertex_strategy: phase used below the edge levels — "tomita",
             "ref", "rcd", "fac" or "none".
         backend: branch-state representation, "set" or "bitset".
+        initial_x: vertex ids seeded into the initial branch's exclusion
+            set; the run then reports the maximal cliques of
+            ``G[V \\ initial_x]`` that no ``initial_x`` vertex extends.
         counters: accumulate into an existing instance when given.
 
     Returns:
@@ -108,13 +147,15 @@ def run_hybrid(
         raise InvalidParameterError(
             f"edge_depth must be >= 1 or None, got {edge_depth}"
         )
+    initial_x = _normalize_initial_x(g, initial_x)
     counters = counters if counters is not None else Counters()
     counted = _counting(sink, counters)
-    work, inner_sink = _apply_reduction(g, counted, counters, graph_reduction)
+    work, inner_sink = _apply_reduction(
+        g, counted, counters, graph_reduction and not initial_x
+    )
     if work.n == 0:
         return counters  # the empty graph has no maximal cliques
 
-    ordering = edge_ordering(work, edge_order_kind)
     ctx = make_context(
         inner_sink,
         counters,
@@ -122,6 +163,27 @@ def run_hybrid(
         vertex_strategy=vertex_strategy,
         backend=backend,
     )
+    if initial_x:
+        C = set(work.vertices()) - initial_x
+        if not C:
+            return counters  # every vertex excluded: nothing is maximal
+        # Rank only the branchable (C-internal) edges; C-X edges stay in
+        # `work` itself, feeding the exclusion sets.
+        ordering = edge_ordering(_candidate_edge_graph(work, C),
+                                 edge_order_kind)
+        if backend == "bitset":
+            from repro.core.bit_edge_engine import bit_run_edge_root_with_x
+            from repro.graph.bitadj import BitGraph, mask_of
+
+            bit_run_edge_root_with_x(work, BitGraph.from_graph(work),
+                                     mask_of(C), mask_of(initial_x),
+                                     ordering, edge_depth, ctx)
+        else:
+            run_edge_root_with_x(work, C, set(initial_x), ordering,
+                                 edge_depth, ctx)
+        return counters
+
+    ordering = edge_ordering(work, edge_order_kind)
     if backend == "bitset":
         from repro.core.bit_edge_engine import bit_run_edge_root
         from repro.graph.bitadj import BitGraph
@@ -142,6 +204,7 @@ def run_vertex(
     et_threshold: int = 0,
     graph_reduction: bool = False,
     backend: str = "set",
+    initial_x: set[int] | frozenset[int] | None = None,
     counters: Counters | None = None,
 ) -> Counters:
     """VBBMC: vertex-oriented branching from the initial branch.
@@ -154,17 +217,24 @@ def run_vertex(
             recursion on the whole graph at once (BK / BK_Pivot / BK_Rcd).
         vertex_strategy: "tomita", "ref", "rcd", "fac" or "none".
         et_threshold: t for early termination (0 disables, max 3).
-        graph_reduction: peel low-degree vertices first (GR).
+        graph_reduction: peel low-degree vertices first (GR).  Bypassed
+            when ``initial_x`` is non-empty.
         backend: branch-state representation, "set" or "bitset".
+        initial_x: vertex ids seeded into the initial branch's exclusion
+            set; the run then reports the maximal cliques of
+            ``G[V \\ initial_x]`` that no ``initial_x`` vertex extends.
         counters: accumulate into an existing instance when given.
 
     Returns:
         The run's :class:`Counters`.
     """
     _validate_run_options(et_threshold, backend)
+    initial_x = _normalize_initial_x(g, initial_x)
     counters = counters if counters is not None else Counters()
     counted = _counting(sink, counters)
-    work, inner_sink = _apply_reduction(g, counted, counters, graph_reduction)
+    work, inner_sink = _apply_reduction(
+        g, counted, counters, graph_reduction and not initial_x
+    )
     if work.n == 0:
         return counters  # the empty graph has no maximal cliques
 
@@ -176,17 +246,31 @@ def run_vertex(
         backend=backend,
     )
     if backend == "bitset":
-        return _run_vertex_bitset(work, ordering_kind, ctx, counters)
+        return _run_vertex_bitset(work, ordering_kind, ctx, counters,
+                                  initial_x)
 
     adj = work.adj
     if ordering_kind is None:
-        ctx.phase([], set(work.vertices()), set(), adj, adj, ctx)
+        ctx.phase([], set(work.vertices()) - initial_x, set(initial_x),
+                  adj, adj, ctx)
         return counters
 
     order = vertex_ordering(work, ordering_kind)
     position = [0] * work.n
     for i, v in enumerate(order):
         position[v] = i
+    if initial_x:
+        # Root only at candidate vertices; each root's exclusion set is its
+        # earlier candidate neighbours plus every initial_x neighbour.
+        for v in order:
+            if v in initial_x:
+                continue
+            pv = position[v]
+            later = {w for w in adj[v]
+                     if position[w] > pv and w not in initial_x}
+            earlier = adj[v] - later
+            ctx.phase([v], later, earlier, adj, adj, ctx)
+        return counters
     for v in order:
         later = {w for w in adj[v] if position[w] > position[v]}
         earlier = adj[v] - later
@@ -199,14 +283,16 @@ def _run_vertex_bitset(
     ordering_kind: str | None,
     ctx,
     counters: Counters,
+    initial_x: frozenset[int] = frozenset(),
 ) -> Counters:
     """Bitmask twin of the ``run_vertex`` initial branch."""
-    from repro.graph.bitadj import BitGraph
+    from repro.graph.bitadj import BitGraph, mask_of
 
     bg = BitGraph.from_graph(work)
     masks = bg.masks
+    x_mask = mask_of(initial_x)
     if ordering_kind is None:
-        ctx.phase([], bg.vertex_mask, 0, masks, masks, ctx)
+        ctx.phase([], bg.vertex_mask & ~x_mask, x_mask, masks, masks, ctx)
         return counters
 
     order = vertex_ordering(work, ordering_kind)
@@ -215,10 +301,12 @@ def _run_vertex_bitset(
         position[v] = i
     adj = work.adj
     for v in order:
+        if x_mask >> v & 1:
+            continue
         later = 0
         pv = position[v]
         for w in adj[v]:
-            if position[w] > pv:
+            if position[w] > pv and not x_mask >> w & 1:
                 later |= 1 << w
         earlier = masks[v] & ~later
         ctx.phase([v], later, earlier, masks, masks, ctx)

@@ -1,7 +1,10 @@
 """Parallel enumeration: degeneracy-partitioned worker pool.
 
 The root level of the clique search splits exactly into per-vertex
-subproblems along a degeneracy ordering (:mod:`repro.parallel.decompose`);
+subproblems along a degeneracy ordering (:mod:`repro.parallel.decompose`),
+each carrying both its candidate set (later neighbours) and its seeded
+exclusion set (earlier neighbours) so the per-subproblem clique streams
+are pairwise disjoint and no branch is explored twice across workers;
 a cost model packs them into balanced chunks
 (:mod:`repro.parallel.scheduler`); a ``multiprocessing`` pool solves each
 chunk with any registered algorithm/backend

@@ -20,6 +20,12 @@ This module extracts the subproblems, attaches a per-subproblem *cost
 estimate* used by :mod:`repro.parallel.scheduler` to pack balanced chunks,
 and provides :func:`solve_subproblem`, the single code path both the
 in-process fallback and the worker processes execute.
+
+Subproblems are *X-set-aware* by default: the earlier neighbours of ``v``
+are seeded into the engine's exclusion set (``initial_x``), so branches
+owned by earlier subproblems die inside the recursion instead of being
+enumerated and filtered afterwards — the duplicated-branch work that made
+the naive decomposition's total CPU 1.5–3× the serial run.
 """
 
 from __future__ import annotations
@@ -139,6 +145,91 @@ def decompose(g: Graph, *, cost_model: str = DEFAULT_COST_MODEL) -> Decompositio
     )
 
 
+def _subproblem_graph(
+    g: Graph, later: set[int], earlier: set[int]
+) -> tuple[Graph, list[int], set[int]]:
+    """Compact branch graph over ``N(v)`` for the X-aware subproblem.
+
+    Returns ``(sub, old_ids, x_local)``: a graph on ``later | earlier``
+    (compact ids, ``old_ids[new] -> old``) containing every
+    candidate–candidate and candidate–exclusion edge, plus the local ids of
+    ``earlier``.  Exclusion–exclusion edges are omitted — no engine ever
+    reads the adjacency between two exclusion vertices (they only meet
+    candidate sets), and on hub-heavy graphs those edges dominate the
+    induced subgraph.
+    """
+    members = sorted(later | earlier)
+    index = {old: new for new, old in enumerate(members)}
+    sub = Graph(len(members))
+    adj = g.adj
+    keep = later | earlier
+    for old_u in later:
+        new_u = index[old_u]
+        for old_v in adj[old_u] & keep:
+            if old_v in later and old_v < old_u:
+                continue  # later-later edges added once (from the low end)
+            sub.add_edge(new_u, index[old_v])
+    x_local = {index[w] for w in earlier}
+    return sub, members, x_local
+
+
+#: options the in-place phase path understands; anything else (a future
+#: engine knob the phase cannot honour) routes to the full framework.
+_IN_PLACE_OPTIONS = frozenset({"backend", "et_threshold", "graph_reduction"})
+
+
+def uses_in_place_phase(algorithm: str, options: dict) -> bool:
+    """Whether X-aware solving will take the in-place vertex-phase tier.
+
+    The pool checks this before materialising the whole-graph bitmask
+    view — only the in-place tier consumes it.
+    """
+    from repro.api import get_algorithm  # deferred: api imports us lazily
+
+    return get_algorithm(algorithm).subproblem_phase is not None \
+        and set(options) <= _IN_PLACE_OPTIONS
+
+
+def _solve_in_place(
+    g: Graph,
+    v: int,
+    later: set[int],
+    earlier: set[int],
+    phase_kwargs: dict,
+    options: dict,
+    bit_graph,
+) -> tuple[list[tuple[int, ...]], Counters, int]:
+    """Run the branch ``(S={v}, C=later, X=earlier)`` on ``g`` directly.
+
+    No subgraph, no relabelling, no per-subproblem ordering or reduction
+    prologue — one vertex-phase call per subproblem on the whole graph's
+    adjacency (or its bitmask view).  ``graph_reduction`` in ``options``
+    is ignored, matching the frameworks' reduction bypass under a seeded
+    exclusion set.
+    """
+    from repro.core.phases import make_context
+
+    backend = options.get("backend", "set")
+    kwargs = dict(phase_kwargs)
+    if "et_threshold" in options:
+        kwargs["et_threshold"] = options["et_threshold"]
+    out: list[tuple[int, ...]] = []
+    counters = Counters()
+    ctx = make_context(out.append, counters, backend=backend, **kwargs)
+    if backend == "bitset":
+        from repro.graph.bitadj import BitGraph, mask_of
+
+        bg = bit_graph if bit_graph is not None else BitGraph.from_graph(g)
+        masks = bg.masks
+        ctx.phase([v], mask_of(later), mask_of(earlier), masks, masks, ctx)
+    else:
+        adj = g.adj
+        ctx.phase([v], set(later), set(earlier), adj, adj, ctx)
+    cliques = sorted(tuple(sorted(clique)) for clique in out)
+    counters.emitted = len(cliques)
+    return cliques, counters, 0
+
+
 def solve_subproblem(
     g: Graph,
     position: list[int],
@@ -146,26 +237,63 @@ def solve_subproblem(
     *,
     algorithm: str,
     options: dict,
+    x_aware: bool = True,
+    bit_graph=None,
 ) -> tuple[list[tuple[int, ...]], Counters, int]:
     """Enumerate the maximal cliques of ``G`` whose earliest member is ``v``.
 
-    Runs the registered ``algorithm`` on the compact induced subgraph
-    ``G[later(v)]``, prepends ``v``, and drops every candidate extendable
-    by an earlier neighbour of ``v`` (those cliques belong to — and are
-    found from — an earlier subproblem).
+    With ``x_aware=True`` (the default) the subproblem's exclusion set is
+    seeded from ``earlier(v)``, so branches that an earlier subproblem
+    owns are pruned *inside* the recursion — no duplicated-branch work,
+    nothing to filter afterwards.  Two X-aware execution tiers exist:
+
+    * algorithms declaring :attr:`AlgorithmSpec.subproblem_phase` (the
+      whole hybrid/vertex family) run their vertex phase in place on the
+      global adjacency — ``ctx.phase([v], later, earlier, ...)`` — which
+      is their exact sub-root engine with none of the per-subproblem
+      subgraph/ordering prologue (``bit_graph`` optionally supplies a
+      prebuilt whole-graph bitmask view for ``backend="bitset"``);
+    * the pure edge-oriented family runs the registered framework on a
+      compact branch graph over ``N(v)`` with ``initial_x`` seeded.
+
+    Algorithms that cannot seed an exclusion set (per
+    ``AlgorithmSpec.supports_initial_x``) fall back to the filtering path.
+
+    With ``x_aware=False`` the algorithm enumerates all of ``G[later(v)]``
+    and every candidate extendable by an earlier neighbour of ``v`` is
+    dropped afterwards (those cliques belong to — and are found from — an
+    earlier subproblem).
 
     Returns ``(cliques, counters, dropped)`` where ``cliques`` are emitted
     canonically (each tuple ascending, list sorted) so the stream is
     deterministic regardless of backend scan order, and ``dropped`` counts
-    the candidates rejected by the earlier-neighbour maximality filter.
+    the candidates rejected by the earlier-neighbour maximality filter
+    (always 0 on the X-aware paths).
     """
-    from repro.api import enumerate_to_sink  # deferred: api imports us lazily
+    from repro.api import enumerate_to_sink, get_algorithm  # deferred: api imports us lazily
 
     later, earlier = subproblem_sets(g, position, v)
     counters = Counters()
     if not later:
         # Lone root: {v} is maximal iff v has no neighbours at all.
         cliques = [(v,)] if not earlier else []
+        counters.emitted = len(cliques)
+        return cliques, counters, 0
+
+    spec = get_algorithm(algorithm)
+    if x_aware and uses_in_place_phase(algorithm, options):
+        return _solve_in_place(g, v, later, earlier, spec.subproblem_phase,
+                               options, bit_graph)
+
+    if x_aware and spec.supports_initial_x:
+        sub, old_ids, x_local = _subproblem_graph(g, later, earlier)
+        collector = CliqueCollector()
+        counters = enumerate_to_sink(sub, collector, algorithm=algorithm,
+                                     initial_x=x_local, **options)
+        cliques = sorted(
+            tuple(sorted([v, *(old_ids[u] for u in local)]))
+            for local in collector.cliques
+        )
         counters.emitted = len(cliques)
         return cliques, counters, 0
 

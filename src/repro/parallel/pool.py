@@ -27,6 +27,7 @@ from repro.parallel.decompose import (
     DEFAULT_COST_MODEL,
     decompose,
     solve_subproblem,
+    uses_in_place_phase,
 )
 from repro.parallel.scheduler import (
     DEFAULT_CHUNK_STRATEGY,
@@ -46,6 +47,21 @@ class WorkerState:
     algorithm: str
     options: dict
     mode: str  # "collect" or "count"
+    x_aware: bool = True
+    _bit_graph: object = None  # lazily built whole-graph bitmask view
+
+    def bit_graph(self):
+        """Whole-graph :class:`BitGraph`, built once per process.
+
+        The X-aware in-place path runs bitset subproblems on global
+        masks; building them per subproblem would be O(m) each, so each
+        worker (or the inline runner) materialises the view once.
+        """
+        if self._bit_graph is None:
+            from repro.graph.bitadj import BitGraph
+
+            self._bit_graph = BitGraph.from_graph(self.graph)
+        return self._bit_graph
 
 
 @dataclass
@@ -54,8 +70,10 @@ class ParallelStats:
 
     Pass an instance via ``run_parallel(..., stats=...)``; it is filled in
     place.  ``chunk_cpu_seconds`` is worker-side ``process_time`` per chunk
-    (time-sharing-proof), from which the benchmark derives the
-    critical-path speedup.
+    (time-sharing-proof): its maximum plus the decomposition prologue is
+    the critical path (the wall clock of a host with enough free cores),
+    its sum is the total partitioned CPU from which :meth:`work_ratio`
+    derives the duplicated-work overhead versus the serial run.
     """
 
     n_jobs: int = 0
@@ -64,11 +82,34 @@ class ParallelStats:
     chunk_strategy: str = ""
     cost_model: str = ""
     start_method: str = ""
+    x_aware: bool = True
     decompose_seconds: float = 0.0
     balance_ratio: float = 1.0
     chunk_costs: list[float] = field(default_factory=list)
     chunk_sizes: list[int] = field(default_factory=list)
     chunk_cpu_seconds: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def total_cpu_seconds(self) -> float:
+        """Decomposition prologue plus every chunk's worker CPU time."""
+        return self.decompose_seconds + sum(self.chunk_cpu_seconds.values())
+
+    @property
+    def critical_path_seconds(self) -> float:
+        """Decomposition prologue plus the slowest chunk's CPU time."""
+        chunk_cpu = self.chunk_cpu_seconds.values()
+        return self.decompose_seconds + (max(chunk_cpu) if chunk_cpu else 0.0)
+
+    def work_ratio(self, serial_seconds: float) -> float:
+        """Total partitioned CPU over the monolithic serial wall time.
+
+        1.0 means the partition did exactly the serial run's work; values
+        above 1 measure duplicated branches plus per-subproblem prologues
+        (0.0 when ``serial_seconds`` is not positive).  This is the single
+        source of truth the scaling benchmark records.
+        """
+        return self.total_cpu_seconds / serial_seconds \
+            if serial_seconds > 0 else 0.0
 
 
 def validate_n_jobs(n_jobs) -> int:
@@ -103,10 +144,14 @@ def _solve_chunk(state: WorkerState, chunk: Chunk) -> ChunkResult:
     items: list[tuple[int, object]] = []
     counters = Counters()
     g, position, order = state.graph, state.position, state.order
+    bit_graph = state.bit_graph() \
+        if state.x_aware and state.options.get("backend") == "bitset" \
+        and uses_in_place_phase(state.algorithm, state.options) else None
     for p in chunk.positions:
         cliques, sub_counters, _ = solve_subproblem(
             g, position, order[p],
             algorithm=state.algorithm, options=state.options,
+            x_aware=state.x_aware, bit_graph=bit_graph,
         )
         counters.merge(sub_counters)
         payload = count_payload(cliques) if state.mode == "count" else cliques
@@ -169,6 +214,7 @@ def run_parallel(
     chunk_strategy: str = DEFAULT_CHUNK_STRATEGY,
     cost_model: str = DEFAULT_COST_MODEL,
     chunks_per_worker: int = 1,
+    x_aware: bool = True,
     stats: ParallelStats | None = None,
     **options,
 ) -> Counters:
@@ -179,11 +225,25 @@ def run_parallel(
     ``algorithm`` (any registered name, any backend) on induced
     subproblems.  Results stream into ``aggregator`` with a deterministic
     merge; the returned :class:`Counters` sum the per-worker counters
-    (``emitted`` equals the true clique count, duplicate candidates
-    filtered by the decomposition are counted under
-    ``suppressed_candidates``).
+    (``emitted`` equals the true clique count).
+
+    ``x_aware=True`` (the default) seeds each subproblem's exclusion set
+    from the degeneracy order so duplicated branches are pruned inside the
+    engines; ``x_aware=False`` restores the enumerate-then-filter
+    decomposition (duplicates counted under ``suppressed_candidates``),
+    kept as an escape hatch and as the baseline the work-ratio regression
+    tests compare against.
     """
     n_jobs = validate_n_jobs(n_jobs)
+    if not isinstance(x_aware, bool):
+        raise InvalidParameterError(
+            f"x_aware must be a bool, got {x_aware!r}"
+        )
+    if "initial_x" in options:
+        raise InvalidParameterError(
+            "initial_x cannot be combined with the parallel path; the "
+            "decomposition seeds it per subproblem"
+        )
     if isinstance(chunks_per_worker, bool) or not isinstance(chunks_per_worker, int) \
             or chunks_per_worker < 1:
         raise InvalidParameterError(
@@ -205,6 +265,7 @@ def run_parallel(
         algorithm=algorithm,
         options=options,
         mode=aggregator.mode,
+        x_aware=x_aware,
     )
 
     aggregator.start(len(decomposition.subproblems))
@@ -240,6 +301,7 @@ def run_parallel(
         stats.n_chunks = len(chunks)
         stats.chunk_strategy = chunk_strategy
         stats.cost_model = cost_model
+        stats.x_aware = x_aware
         stats.start_method = start_method
         stats.decompose_seconds = decomposition.seconds
         stats.balance_ratio = balance_ratio(chunks)

@@ -8,6 +8,7 @@ agreement is meaningful evidence.
 
 from __future__ import annotations
 
+import hashlib
 from itertools import combinations
 from typing import Iterable, Sequence
 
@@ -15,6 +16,19 @@ from repro.exceptions import InvalidParameterError
 from repro.graph.adjacency import Graph
 
 BRUTE_FORCE_LIMIT = 18
+
+
+def clique_fingerprint(cliques: Iterable[Sequence[int]]) -> str:
+    """SHA256 of the canonical clique list (algorithm-independent).
+
+    Each clique is sorted ascending, the list sorted lexicographically,
+    and the result serialised one clique per line as space-separated ids —
+    so every correct enumerator of the same graph produces the same hex
+    digest.  The golden-oracle fixtures pin these digests.
+    """
+    canonical = sorted(tuple(sorted(clique)) for clique in cliques)
+    text = "\n".join(" ".join(map(str, clique)) for clique in canonical)
+    return hashlib.sha256(text.encode("ascii")).hexdigest()
 
 
 def is_clique(g: Graph, vertices: Iterable[int]) -> bool:
