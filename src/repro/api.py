@@ -21,7 +21,14 @@ two cannot drift.)
 Every branch-and-bound algorithm additionally accepts
 ``backend="set" | "bitset"`` selecting the branch-state representation
 (Python sets vs ``int`` bitmasks, see :mod:`repro.graph.bitadj`); both
-backends emit identical clique sets.
+backends emit identical clique sets.  The bitset backend also accepts
+``bit_order="degeneracy" | "input"`` (or an explicit vertex permutation)
+selecting the vertex→bit packing: ``"degeneracy"`` — the default — packs
+the high-core vertices into the low mask words so deep-branch masks stay
+short, ``"input"`` is the identity mapping.  Early termination on the
+bitset backend is bit-native end to end (:mod:`repro.core.bit_plex`):
+plex branches are decomposed and their cliques assembled directly on the
+masks.
 
 ``maximal_cliques``, ``count_maximal_cliques`` and ``enumerate_to_sink``
 also accept ``n_jobs=N`` to fan the enumeration out over the

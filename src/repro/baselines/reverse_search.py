@@ -41,17 +41,23 @@ def _lexicographic_completion(g: Graph, seed: set[int]) -> tuple[int, ...]:
 
 def reverse_search(
     g: Graph, sink: CliqueSink, *, counters: Counters | None = None,
-    backend: str = "set",
+    backend: str = "set", bit_order=None,
 ) -> Counters:
     """Enumerate all maximal cliques in lexicographic order.
 
     Reverse search is priority-queue driven rather than branch-and-bound,
     so it has no bitmask variant; ``backend`` is accepted for registry
-    uniformity but only ``"set"`` is valid.
+    uniformity but only ``"set"`` is valid (and ``bit_order``, a bitset
+    packing knob, is rejected outright).
     """
     if backend != "set":
         raise InvalidParameterError(
             f"reverse-search supports only backend='set', got {backend!r}"
+        )
+    if bit_order is not None:
+        raise InvalidParameterError(
+            "bit_order selects the bitmask packing and requires "
+            "backend='bitset'; reverse-search has no bitmask variant"
         )
     counters = counters if counters is not None else Counters()
     if g.n == 0:

@@ -19,6 +19,7 @@ import time
 from repro.api import ALGORITHMS, DEFAULT_ALGORITHM, maximal_cliques, run_with_report
 from repro.core.phases import BACKENDS
 from repro.exceptions import InvalidParameterError, UnknownAlgorithmError
+from repro.graph.bitadj import BIT_ORDERS
 from repro.parallel import CHUNK_STRATEGIES, DEFAULT_CHUNK_STRATEGY, parse_jobs
 from repro.graph.adjacency import Graph
 from repro.graph.generators import DATASET_NAMES, load_dataset, paper_stats
@@ -48,6 +49,10 @@ def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--backend", choices=BACKENDS, default="set",
                         help="branch-state representation: Python sets or "
                              "int bitmasks (default: set)")
+    parser.add_argument("--bit-order", choices=BIT_ORDERS, default=None,
+                        help="bitmask packing for --backend bitset: "
+                             "'degeneracy' (default; dense core in the low "
+                             "words) or 'input' (vertex id = bit id)")
     parser.add_argument("--jobs", metavar="N", default=None,
                         help="worker processes for the degeneracy-partitioned "
                              "parallel pool (positive integer; default: "
@@ -62,6 +67,24 @@ def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
                         help="disable X-set-aware subproblems: enumerate "
                              "each subproblem fully, then filter duplicated "
                              "cliques (requires --jobs; default: X-aware)")
+
+
+def _backend_options(args: argparse.Namespace) -> dict:
+    """Translate --backend/--bit-order into API keyword arguments.
+
+    ``--bit-order`` is a bitmask packing knob, so it follows the library's
+    convention and is rejected (exit code 2, one-line message) unless the
+    bitset backend is selected.
+    """
+    options = {"backend": args.backend}
+    if args.bit_order is not None:
+        if args.backend != "bitset":
+            raise InvalidParameterError(
+                "--bit-order requires --backend bitset (it selects the "
+                "bitmask packing)"
+            )
+        options["bit_order"] = args.bit_order
+    return options
 
 
 def _parallel_options(args: argparse.Namespace) -> dict:
@@ -91,8 +114,8 @@ def _parallel_options(args: argparse.Namespace) -> dict:
 def cmd_enumerate(args: argparse.Namespace) -> int:
     parallel = _parallel_options(args)
     g = _load(args)
-    cliques = maximal_cliques(g, algorithm=args.algorithm, backend=args.backend,
-                              **parallel)
+    cliques = maximal_cliques(g, algorithm=args.algorithm,
+                              **_backend_options(args), **parallel)
     limit = args.limit if args.limit is not None else len(cliques)
     for clique in cliques[:limit]:
         print(" ".join(map(str, clique)))
@@ -104,12 +127,15 @@ def cmd_enumerate(args: argparse.Namespace) -> int:
 
 def cmd_count(args: argparse.Namespace) -> int:
     parallel = _parallel_options(args)
+    # Flag-combination errors are user errors even under --all (the skip
+    # path below is for genuine per-algorithm incompatibilities).
+    backend_options = _backend_options(args)
     g = _load(args)
     names = sorted(ALGORITHMS) if args.all else [args.algorithm]
     for name in names:
         try:
-            report = run_with_report(g, algorithm=name, backend=args.backend,
-                                     **parallel)
+            report = run_with_report(g, algorithm=name,
+                                     **backend_options, **parallel)
         except InvalidParameterError as exc:
             if not args.all:
                 raise
@@ -160,8 +186,8 @@ def cmd_algorithms(_args: argparse.Namespace) -> int:
 def cmd_verify(args: argparse.Namespace) -> int:
     parallel = _parallel_options(args)
     g = _load(args)
-    cliques = maximal_cliques(g, algorithm=args.algorithm, backend=args.backend,
-                              **parallel)
+    cliques = maximal_cliques(g, algorithm=args.algorithm,
+                              **_backend_options(args), **parallel)
     problems = verify_enumeration(g, cliques)
     if problems:
         for problem in problems[:25]:

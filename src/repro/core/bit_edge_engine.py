@@ -172,6 +172,26 @@ def bit_edge_phase(
             S.pop()
 
 
+def _bit_edge_pairs(
+    bg: BitGraph, ordering: EdgeOrdering
+) -> list[tuple[int, int]]:
+    """The ordering's edges translated to (low-bit, high-bit) pairs.
+
+    The engines key their rank lookups as ``min * n + max`` over *bit*
+    positions, so under a packed bit order the vertex-space edge ordering
+    must be mapped through ``bg.bit_of`` first.  The identity mapping only
+    normalises pair orientation (already ``u < v`` in every ordering).
+    """
+    if bg.is_identity:
+        return ordering.order
+    bit_of = bg.bit_of
+    pairs: list[tuple[int, int]] = []
+    for u, v in ordering.order:
+        a, b = bit_of[u], bit_of[v]
+        pairs.append((a, b) if a < b else (b, a))
+    return pairs
+
+
 def bit_run_edge_root_with_x(
     g: Graph,
     bg: BitGraph,
@@ -185,14 +205,15 @@ def bit_run_edge_root_with_x(
 
     Bitmask twin of :func:`repro.core.edge_engine.run_edge_root_with_x`:
     one :func:`bit_edge_phase` call at ``threshold = -1`` on the branch
-    ``(S = {}, C, X)``.  ``bg`` must be the identity-mapped bit view of
-    ``g`` (including the ``C``–``X`` edges); ``ordering`` only needs to
-    rank the edges of ``G[C]``.
+    ``(S = {}, C, X)``.  ``bg`` is the bit view of ``g`` under any bit
+    order (including the ``C``–``X`` edges); ``C``/``X`` are masks in
+    ``bg``'s bit space and ``ordering`` only needs to rank the edges of
+    ``G[C]`` (in vertex space — it is translated here).
     """
     adj = bg.masks
     n = g.n
     rank: dict[int, int] = {
-        u * n + v: r for r, (u, v) in enumerate(ordering.order)
+        u * n + v: r for r, (u, v) in enumerate(_bit_edge_pairs(bg, ordering))
     }
     cand = {w: adj[w] & C for w in iter_bits(C)}
     bit_edge_phase([], C, X, cand, adj, rank, n, -1, depth, ctx)
@@ -204,38 +225,45 @@ def bit_run_edge_root(
     ordering: EdgeOrdering,
     depth: int | None,
     ctx: EngineContext,
+    core=None,
 ) -> None:
     """The initial branch on bitmasks (mirrors ``run_edge_root``).
 
-    ``bg`` must be the identity-mapped bit view of ``g`` so that the rank
-    keys and the emitted vertex ids agree between representations.
+    ``bg`` may use any bit order; the engine runs entirely in bit space
+    (the edge ordering is translated through ``bg.bit_of`` and the branch
+    stack ``S`` holds bit positions), so with a packed order the caller's
+    sink must translate emitted bits back to vertex ids.  ``core`` is the
+    degeneracy decomposition of ``g`` when the caller already holds it
+    (the degeneracy-packed bit view computes one), sparing a second peel.
     """
     counters = ctx.counters
     counters.edge_calls += 1
     adj = bg.masks
     n = g.n
+    pairs = _bit_edge_pairs(bg, ordering)
     rank: dict[int, int] = {
-        u * n + v: r for r, (u, v) in enumerate(ordering.order)
+        u * n + v: r for r, (u, v) in enumerate(pairs)
     }
     if ctx.et_threshold and bit_try_early_termination(
         [], bg.vertex_mask, 0, adj, adj, ctx
     ):
         return
 
-    edge_count = len(ordering.order)
+    edge_count = len(pairs)
     cand_of: list[int] = [0] * edge_count
     excl_of: list[int] = [0] * edge_count
 
-    position = core_decomposition(g).position
+    position = (core if core is not None else core_decomposition(g)).position
     set_adj = g.adj
+    bit_of = bg.bit_of
     forward: list[int] = [0] * n
     for v in range(n):
         pv = position[v]
         mask = 0
         for w in set_adj[v]:
             if position[w] > pv:
-                mask |= 1 << w
-        forward[v] = mask
+                mask |= 1 << bit_of[w]
+        forward[bit_of[v]] = mask
 
     for u in range(n):
         fu = forward[u]
@@ -281,7 +309,7 @@ def bit_run_edge_root(
     vertex_phase = ctx.phase
 
     S: list[int] = []
-    for edge_rank, (a, b) in enumerate(ordering.order):
+    for edge_rank, (a, b) in enumerate(pairs):
         new_c = cand_of[edge_rank]
         new_x = excl_of[edge_rank]
         view = _bit_candidate_view(new_c, adj, adj, rank, n, edge_rank)

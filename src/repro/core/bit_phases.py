@@ -27,19 +27,19 @@ Bitmask conventions:
   branch orderings of the set backend, so both backends enumerate branches
   in comparable order.
 
-Early termination delegates the plex *construction* (Algorithms 6-8) to
-:mod:`repro.core.early_termination` after converting the few surviving
-vertices back to sets: the plex check runs bit-parallel on every branch,
-while the per-clique assembly — already O(answer) — reuses the one audited
-implementation.  The 1-plex (clique) fast path, by far the most common
-early-termination outcome, is emitted straight from the mask.
+Early termination is bit-native end to end: the plex check runs
+bit-parallel on every branch, and the plex *construction* (Algorithms 6-8)
+runs directly on the masks too — complement discovery, path/cycle walks
+and MIS instantiation all live in :mod:`repro.core.bit_plex`, with the
+set-backed :func:`repro.core.early_termination.fire_plex` kept as the
+audited oracle the differential suite compares against.
 """
 
 from __future__ import annotations
 
 from typing import Mapping, Sequence
 
-from repro.core.early_termination import fire_plex
+from repro.core.bit_plex import bit_fire_plex
 from repro.core.phases import EngineContext
 from repro.graph.bitadj import iter_bits
 
@@ -323,34 +323,6 @@ def _bit_cand_plex_ok(C: int, cand: BitAdjacency, full: BitAdjacency, t: int) ->
         if (full[v] & C).bit_count() != cand_degree:
             return False  # a rank-pruned pair lies inside C
     return True
-
-
-def bit_fire_plex(
-    S: list[int],
-    C: int,
-    cand: BitAdjacency,
-    ctx: EngineContext,
-    min_cand_degree: int | None = None,
-) -> None:
-    """Emit every maximal clique of a verified plex branch.
-
-    The dominant 1-plex case (the candidate mask is a clique) is emitted
-    straight from the mask; genuine 2/3-plexes convert their few vertices
-    to sets and reuse :func:`repro.core.early_termination.fire_plex`, so
-    the Algorithm 6-8 machinery and its counter bookkeeping live in exactly
-    one place.
-    """
-    size = C.bit_count()
-    if min_cand_degree is not None and min_cand_degree >= size - 1:
-        counters = ctx.counters
-        counters.plex_terminable += 1
-        counters.et_hits += 1
-        ctx.sink(tuple(S) + tuple(iter_bits(C)))
-        counters.et_cliques += 1
-        return
-    members = list(iter_bits(C))
-    adjacency = {v: set(iter_bits(cand[v] & C)) for v in members}
-    fire_plex(S, set(members), adjacency, ctx, min_cand_degree)
 
 
 def bit_try_early_termination(

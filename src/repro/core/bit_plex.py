@@ -1,0 +1,433 @@
+"""Bit-native early termination: plex construction on bitmask branches.
+
+This is the ``backend="bitset"`` twin of the Section IV machinery
+(Algorithms 6-8).  The set-backed implementation
+(:mod:`repro.core.early_termination`) decomposes the complement of the
+candidate set into isolated vertices, simple paths and simple cycles, then
+assembles every maximal clique from cached maximal-independent-set
+patterns.  Here the same decomposition runs directly on ``int`` masks:
+
+* the complement adjacency of a candidate ``v`` is one expression,
+  ``C & ~cand[v] & ~(1 << v)`` — no set difference, no hashing;
+* plex-degree checks are ``popcount`` on those masks;
+* path/cycle components are discovered by mask traversal (clear a bit,
+  follow the single remaining complement neighbour);
+* each per-component MIS choice is instantiated exactly once — as a member
+  bitmask in the structural API (:func:`bit_combine_structure`, a clique is
+  the OR of one choice per component) and as a bit-position tuple in the
+  engine hot path (:func:`bit_fire_plex`, a clique is one concatenation per
+  component) — the branch never materialises a Python set.
+
+The set-backed :func:`repro.core.early_termination.fire_plex` stays the
+audited oracle: :func:`bit_fire_plex_roundtrip` (the pre-bit-native
+behaviour) converts a mask branch to sets and delegates to it, which the
+differential suite (``tests/property/test_bit_plex_equivalence.py``) and
+the ET benchmark (``benchmarks/bench_et_bitset.py``) both use as the
+reference implementation.
+
+Counter semantics are identical to ``fire_plex``: ``plex_terminable`` and
+``et_hits`` once per fired branch, ``et_cliques`` per constructed clique.
+
+Bit ids vs vertex ids: everything here lives in *bit space* (the engines'
+mask coordinates).  Under a packed bit order (see
+:func:`repro.graph.bitadj.resolve_bit_order`) the frameworks translate
+emitted bits back to vertex ids at the sink boundary.
+"""
+
+from __future__ import annotations
+
+import itertools
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Sequence
+
+from repro.core.early_termination import _cycle_patterns, _path_patterns, fire_plex
+from repro.exceptions import NotAPlexError
+from repro.graph.bitadj import iter_bits
+
+BitAdjacency = Mapping[int, int] | Sequence[int]
+
+
+@dataclass
+class BitComplementStructure:
+    """Mask-level decomposition of a candidate set's complement.
+
+    The bit-space mirror of :class:`repro.graph.plex.ComplementStructure`:
+    ``universal`` is a *mask* of the complement-isolated bits (the paper's
+    F set), while paths and cycles list their member bits in traversal
+    order (complement-adjacent bits are consecutive).
+    """
+
+    universal: int = 0
+    paths: list[list[int]] = field(default_factory=list)
+    cycles: list[list[int]] = field(default_factory=list)
+    max_complement_degree: int = 0
+
+    @property
+    def plex_level(self) -> int:
+        """Smallest t for which the candidate set is a t-plex (1, 2 or 3)."""
+        return self.max_complement_degree + 1
+
+
+def bit_complement_masks(C: int, cand: BitAdjacency) -> dict[int, int]:
+    """Complement adjacency restricted to ``C``, as per-bit masks.
+
+    Entries exist only for non-universal bits (those with at least one
+    complement neighbour inside ``C``), matching the sparse ``comp`` dict
+    the set-backed decomposition walks.
+    """
+    comp: dict[int, int] = {}
+    rest = C
+    while rest:
+        low = rest & -rest
+        rest ^= low
+        v = low.bit_length() - 1
+        missing = C & ~cand[v] & ~low
+        if missing:
+            comp[v] = missing
+    return comp
+
+
+def bit_decompose_complement(C: int, cand: BitAdjacency) -> BitComplementStructure:
+    """Split the complement of mask ``C`` into isolated bits/paths/cycles.
+
+    Raises :class:`NotAPlexError` when some complement degree exceeds 2
+    (the candidate set is not a 3-plex), exactly like the set-backed
+    :func:`repro.graph.plex.decompose_complement`.
+    """
+    structure = BitComplementStructure()
+    comp = bit_complement_masks(C, cand)
+    structure.universal = C
+    max_deg = 0
+    endpoint_bits = 0
+    for v, missing in comp.items():
+        structure.universal &= ~(1 << v)
+        degree = missing.bit_count()
+        if degree > max_deg:
+            max_deg = degree
+        if degree == 1:
+            endpoint_bits |= 1 << v
+    structure.max_complement_degree = max_deg
+    if max_deg > 2:
+        raise NotAPlexError(
+            f"complement degree {max_deg} > 2: candidate set is not a 3-plex"
+        )
+
+    # Paths first: every path has two degree-1 endpoints, and walking from
+    # the lower-bit one consumes both.  Whatever non-universal bits remain
+    # must lie on cycles.
+    seen = 0
+    rest = endpoint_bits
+    while rest:
+        low = rest & -rest
+        rest ^= low
+        if seen & low:
+            continue
+        path = _walk_path(low.bit_length() - 1, comp)
+        for b in path:
+            seen |= 1 << b
+        structure.paths.append(path)
+    leftover = C & ~structure.universal & ~seen
+    while leftover:
+        low = leftover & -leftover
+        cycle = _walk_cycle(low.bit_length() - 1, comp)
+        for b in cycle:
+            leftover &= ~(1 << b)
+        structure.cycles.append(cycle)
+    return structure
+
+
+def _walk_path(start: int, comp: Mapping[int, int]) -> list[int]:
+    """Follow a degree-1 start bit to the other end of its complement path."""
+    path = [start]
+    prev_bit = 0
+    current = start
+    while True:
+        step = comp[current] & ~prev_bit
+        if not step:
+            return path
+        prev_bit = 1 << current
+        current = (step & -step).bit_length() - 1
+        path.append(current)
+
+
+def _walk_cycle(start: int, comp: Mapping[int, int]) -> list[int]:
+    """Return the complement cycle through ``start`` in traversal order.
+
+    The first step takes the lower-bit neighbour, mirroring the set-backed
+    ``min(comp[start])`` deterministic direction.
+    """
+    first = comp[start] & -comp[start]
+    cycle = [start]
+    prev_bit = 1 << start
+    current = first.bit_length() - 1
+    while current != start:
+        cycle.append(current)
+        step = comp[current] & ~prev_bit
+        prev_bit = 1 << current
+        current = (step & -step).bit_length() - 1
+    return cycle
+
+
+def _component_choice_masks(structure: BitComplementStructure) -> list[list[int]]:
+    """Per-component MIS choices, each instantiated as a member bitmask.
+
+    The index patterns depend only on the component length, so they come
+    from the same per-length caches the set backend uses
+    (:func:`repro.core.early_termination._path_patterns` /
+    ``_cycle_patterns``); instantiation is one OR per member bit.
+    """
+    choices: list[list[int]] = []
+    for path in structure.paths:
+        masks = []
+        for pattern in _path_patterns(len(path)):
+            m = 0
+            for i in pattern:
+                m |= 1 << path[i]
+            masks.append(m)
+        choices.append(masks)
+    for cycle in structure.cycles:
+        masks = []
+        for pattern in _cycle_patterns(len(cycle)):
+            m = 0
+            for i in pattern:
+                m |= 1 << cycle[i]
+            masks.append(m)
+        choices.append(masks)
+    return choices
+
+
+def bit_combine_structure(structure: BitComplementStructure) -> Iterator[int]:
+    """Yield every maximal clique of the decomposed branch as a bitmask.
+
+    The cartesian-product combination of Algorithm 8 lines 5-8: one MIS
+    choice per complement component, OR-ed onto the universal mask.
+    """
+    choices = _component_choice_masks(structure)
+    base = structure.universal
+    if not choices:
+        yield base
+        return
+    for combo in itertools.product(*choices):
+        mask = base
+        for part in combo:
+            mask |= part
+        yield mask
+
+
+def bit_plex_branch_cliques(C: int, cand: BitAdjacency) -> Iterator[int]:
+    """Every maximal clique of a t-plex candidate mask (t <= 3), as masks.
+
+    Mask-level mirror of
+    :func:`repro.core.early_termination.plex_branch_cliques`; raises
+    :class:`NotAPlexError` when ``C`` is not a 3-plex under ``cand``.
+    """
+    yield from bit_combine_structure(bit_decompose_complement(C, cand))
+
+
+# ----------------------------------------------------------------------
+# Engine hot path
+# ----------------------------------------------------------------------
+def bit_fire_plex(
+    S: list[int],
+    C: int,
+    cand: BitAdjacency,
+    ctx,
+    min_cand_degree: int | None = None,
+) -> None:
+    """Emit every maximal clique of a verified plex branch, all on masks.
+
+    The inlined Algorithm 8 hot path: the dominant 1-plex (clique) case is
+    one emission straight from the mask; |C| <= 3 resolves by direct mask
+    casework; larger 2/3-plexes build the per-bit complement masks, peel
+    paths and cycles by mask traversal, and concatenate one cached MIS
+    choice per component into each output.  ``min_cand_degree`` is the
+    already computed minimum within-C candidate degree when the caller
+    knows it (``|C| - 1`` means 1-plex).
+    """
+    counters = ctx.counters
+    counters.plex_terminable += 1
+    counters.et_hits += 1
+    base = tuple(S)
+    emit = ctx.sink
+    size = C.bit_count()
+    if min_cand_degree is not None and min_cand_degree >= size - 1:
+        emit(base + tuple(iter_bits(C)))
+        counters.et_cliques += 1
+        return
+
+    # Tiny branches dominate in practice; a couple of mask probes beat the
+    # component machinery (mirrors the set-backed casework bit for bit).
+    if size == 1:
+        emit(base + (C.bit_length() - 1,))
+        counters.et_cliques += 1
+        return
+    if size == 2:
+        low = C & -C
+        u = low.bit_length() - 1
+        v = (C ^ low).bit_length() - 1
+        if cand[u] >> v & 1:
+            emit(base + (u, v))
+            counters.et_cliques += 1
+        else:
+            emit(base + (u,))
+            emit(base + (v,))
+            counters.et_cliques += 2
+        return
+    if size == 3:
+        low = C & -C
+        rest = C ^ low
+        mid = rest & -rest
+        a = low.bit_length() - 1
+        b = mid.bit_length() - 1
+        c = (rest ^ mid).bit_length() - 1
+        ab = cand[a] >> b & 1
+        ac = cand[a] >> c & 1
+        bc = cand[b] >> c & 1
+        present = ab + ac + bc
+        if present == 3:
+            cliques = ((a, b, c),)
+        elif present == 2:
+            # One missing pair: the shared vertex pairs with each endpoint.
+            if not ab:
+                cliques = ((a, c), (b, c))
+            elif not ac:
+                cliques = ((a, b), (b, c))
+            else:
+                cliques = ((a, b), (a, c))
+        elif present == 1:
+            # One edge and an isolated vertex.
+            if ab:
+                cliques = ((a, b), (c,))
+            elif ac:
+                cliques = ((a, c), (b,))
+            else:
+                cliques = ((b, c), (a,))
+        else:
+            cliques = ((a,), (b,), (c,))
+        for members in cliques:
+            emit(base + members)
+        counters.et_cliques += len(cliques)
+        return
+
+    # Per-bit complement masks; universal bits join every clique.
+    universal = C
+    comp: dict[int, int] = {}
+    rest = C
+    while rest:
+        low = rest & -rest
+        rest ^= low
+        v = low.bit_length() - 1
+        missing = C & ~cand[v] & ~low
+        if missing:
+            comp[v] = missing
+            universal &= ~low
+
+    if not comp:
+        emit(base + tuple(iter_bits(C)))
+        counters.et_cliques += 1
+        return
+
+    # Peel complement paths (walk from degree-1 endpoints), then cycles.
+    # Components are discovered purely by mask traversal; each component's
+    # MIS choices are instantiated once as tuples of bit positions so the
+    # per-clique combination below is plain tuple concatenation — the same
+    # O(|clique|) assembly as the set oracle, minus its set conversion.
+    choices: list[list[tuple[int, ...]]] = []
+    seen = 0
+    cyclic = 0
+    for v, missing in comp.items():
+        bit = 1 << v
+        if missing & (missing - 1):  # complement degree 2
+            cyclic |= bit
+            continue
+        if seen & bit:
+            continue
+        path = [v]
+        prev_bit = 0
+        current = v
+        while True:
+            step = comp[current] & ~prev_bit
+            if not step:
+                break
+            prev_bit = 1 << current
+            current = (step & -step).bit_length() - 1
+            path.append(current)
+        for b in path:
+            seen |= 1 << b
+        choices.append(
+            [tuple(path[i] for i in pat) for pat in _path_patterns(len(path))]
+        )
+    cyclic &= ~seen
+    while cyclic:
+        low = cyclic & -cyclic
+        v = low.bit_length() - 1
+        cycle = [v]
+        prev_bit = low
+        current = (comp[v] & -comp[v]).bit_length() - 1
+        while current != v:
+            cycle.append(current)
+            step = comp[current] & ~prev_bit
+            prev_bit = 1 << current
+            current = (step & -step).bit_length() - 1
+        for b in cycle:
+            cyclic &= ~(1 << b)
+        choices.append(
+            [tuple(cycle[i] for i in pat) for pat in _cycle_patterns(len(cycle))]
+        )
+
+    prefix = base + tuple(iter_bits(universal))
+    emitted = 0
+    for combo in itertools.product(*choices):
+        members = prefix
+        for part in combo:
+            members += part
+        emit(members)
+        emitted += 1
+    counters.et_cliques += emitted
+
+
+@contextmanager
+def et_implementation(fire) -> Iterator[None]:
+    """Temporarily swap the engines' ET construction (bench/tests only).
+
+    Both bitset engines resolve ``bit_fire_plex`` through
+    :mod:`repro.core.bit_phases` at call time, so rebinding that one name
+    switches every ET fire — to :func:`bit_fire_plex_roundtrip` for an
+    A/B measurement against the pre-bit-native behaviour, or to a
+    capturing wrapper in the differential suite.
+    """
+    from repro.core import bit_phases
+
+    previous = bit_phases.bit_fire_plex
+    bit_phases.bit_fire_plex = fire
+    try:
+        yield
+    finally:
+        bit_phases.bit_fire_plex = previous
+
+
+def bit_fire_plex_roundtrip(
+    S: list[int],
+    C: int,
+    cand: BitAdjacency,
+    ctx,
+    min_cand_degree: int | None = None,
+) -> None:
+    """Pre-bit-native behaviour: convert the branch to sets, fire the oracle.
+
+    Kept as the reference implementation for the differential suite and as
+    the baseline the ET benchmark measures the bit-native path against.
+    The 1-plex fast path mirrors what the old in-engine version did.
+    """
+    size = C.bit_count()
+    if min_cand_degree is not None and min_cand_degree >= size - 1:
+        counters = ctx.counters
+        counters.plex_terminable += 1
+        counters.et_hits += 1
+        ctx.sink(tuple(S) + tuple(iter_bits(C)))
+        counters.et_cliques += 1
+        return
+    members = list(iter_bits(C))
+    adjacency = {v: set(iter_bits(cand[v] & C)) for v in members}
+    fire_plex(S, set(members), adjacency, ctx, min_cand_degree)

@@ -42,7 +42,8 @@ def _counting(sink: CliqueSink, counters: Counters) -> CliqueSink:
     return wrapped
 
 
-def _validate_run_options(et_threshold: int, backend: str) -> None:
+def _validate_run_options(et_threshold: int, backend: str,
+                          bit_order=None) -> None:
     """Reject bad options at the API boundary, before any work starts.
 
     ``EngineContext`` re-validates ``et_threshold`` when it is built, but
@@ -58,6 +59,59 @@ def _validate_run_options(et_threshold: int, backend: str) -> None:
         raise InvalidParameterError(
             f"unknown backend {backend!r}; expected one of {BACKENDS}"
         )
+    if bit_order is not None:
+        from repro.graph.bitadj import BIT_ORDERS
+
+        if backend != "bitset":
+            raise InvalidParameterError(
+                "bit_order selects the bitmask packing and requires "
+                "backend='bitset'"
+            )
+        if isinstance(bit_order, str) and bit_order not in BIT_ORDERS:
+            raise InvalidParameterError(
+                f"unknown bit_order {bit_order!r}; expected one of "
+                f"{BIT_ORDERS} or an explicit vertex permutation"
+            )
+
+
+def _bit_view(work: Graph, bit_order, inner_sink: CliqueSink):
+    """Build the run's :class:`BitGraph` and its sink-side translation.
+
+    The bitset engines run entirely in bit space; under a non-identity
+    packing every emitted clique is translated back to vertex ids *before*
+    the suppression/counting wrappers see it, so graph-reduction filtering
+    and user sinks keep operating on vertex ids.
+
+    Returns ``(bg, sink, core)`` where ``core`` is the degeneracy
+    decomposition computed to resolve the default packing (``None`` for
+    other packings) — the engines reuse it instead of peeling again.
+    """
+    from repro.graph.bitadj import (
+        DEFAULT_BIT_ORDER,
+        BitGraph,
+        resolve_bit_order,
+    )
+
+    if bit_order is None:
+        bit_order = DEFAULT_BIT_ORDER
+    core = None
+    if bit_order == "degeneracy":
+        from repro.graph.coreness import core_decomposition
+
+        core = core_decomposition(work)
+    order = resolve_bit_order(
+        work, bit_order,
+        degeneracy_order=core.order if core is not None else None,
+    )
+    bg = BitGraph.from_graph(work, order=order)
+    if bg.is_identity:
+        return bg, inner_sink, core
+    to_vertex = bg.to_vertex
+
+    def translated(bits: tuple[int, ...]) -> None:
+        inner_sink(tuple(to_vertex[b] for b in bits))
+
+    return bg, translated, core
 
 
 def _normalize_initial_x(g: Graph, initial_x) -> frozenset[int]:
@@ -117,6 +171,7 @@ def run_hybrid(
     edge_order_kind: str = "truss",
     vertex_strategy: str = "tomita",
     backend: str = "set",
+    bit_order=None,
     initial_x: set[int] | frozenset[int] | None = None,
     counters: Counters | None = None,
 ) -> Counters:
@@ -134,6 +189,10 @@ def run_hybrid(
         vertex_strategy: phase used below the edge levels — "tomita",
             "ref", "rcd", "fac" or "none".
         backend: branch-state representation, "set" or "bitset".
+        bit_order: bitmask packing for ``backend="bitset"`` — "degeneracy"
+            (the default: dense core in the low words), "input" (identity)
+            or an explicit vertex permutation.  Requires the bitset
+            backend.
         initial_x: vertex ids seeded into the initial branch's exclusion
             set; the run then reports the maximal cliques of
             ``G[V \\ initial_x]`` that no ``initial_x`` vertex extends.
@@ -142,7 +201,7 @@ def run_hybrid(
     Returns:
         The run's :class:`Counters`.
     """
-    _validate_run_options(et_threshold, backend)
+    _validate_run_options(et_threshold, backend, bit_order)
     if edge_depth is not None and edge_depth < 1:
         raise InvalidParameterError(
             f"edge_depth must be >= 1 or None, got {edge_depth}"
@@ -156,6 +215,9 @@ def run_hybrid(
     if work.n == 0:
         return counters  # the empty graph has no maximal cliques
 
+    bg = core = None
+    if backend == "bitset":
+        bg, inner_sink, core = _bit_view(work, bit_order, inner_sink)
     ctx = make_context(
         inner_sink,
         counters,
@@ -173,10 +235,10 @@ def run_hybrid(
                                  edge_order_kind)
         if backend == "bitset":
             from repro.core.bit_edge_engine import bit_run_edge_root_with_x
-            from repro.graph.bitadj import BitGraph, mask_of
 
-            bit_run_edge_root_with_x(work, BitGraph.from_graph(work),
-                                     mask_of(C), mask_of(initial_x),
+            bit_run_edge_root_with_x(work, bg,
+                                     bg.mask_of_vertices(C),
+                                     bg.mask_of_vertices(initial_x),
                                      ordering, edge_depth, ctx)
         else:
             run_edge_root_with_x(work, C, set(initial_x), ordering,
@@ -186,10 +248,8 @@ def run_hybrid(
     ordering = edge_ordering(work, edge_order_kind)
     if backend == "bitset":
         from repro.core.bit_edge_engine import bit_run_edge_root
-        from repro.graph.bitadj import BitGraph
 
-        bit_run_edge_root(work, BitGraph.from_graph(work), ordering,
-                          edge_depth, ctx)
+        bit_run_edge_root(work, bg, ordering, edge_depth, ctx, core=core)
     else:
         run_edge_root(work, ordering, edge_depth, ctx)
     return counters
@@ -204,6 +264,7 @@ def run_vertex(
     et_threshold: int = 0,
     graph_reduction: bool = False,
     backend: str = "set",
+    bit_order=None,
     initial_x: set[int] | frozenset[int] | None = None,
     counters: Counters | None = None,
 ) -> Counters:
@@ -220,6 +281,8 @@ def run_vertex(
         graph_reduction: peel low-degree vertices first (GR).  Bypassed
             when ``initial_x`` is non-empty.
         backend: branch-state representation, "set" or "bitset".
+        bit_order: bitmask packing for ``backend="bitset"`` — "degeneracy"
+            (the default), "input" or an explicit vertex permutation.
         initial_x: vertex ids seeded into the initial branch's exclusion
             set; the run then reports the maximal cliques of
             ``G[V \\ initial_x]`` that no ``initial_x`` vertex extends.
@@ -228,7 +291,7 @@ def run_vertex(
     Returns:
         The run's :class:`Counters`.
     """
-    _validate_run_options(et_threshold, backend)
+    _validate_run_options(et_threshold, backend, bit_order)
     initial_x = _normalize_initial_x(g, initial_x)
     counters = counters if counters is not None else Counters()
     counted = _counting(sink, counters)
@@ -238,6 +301,9 @@ def run_vertex(
     if work.n == 0:
         return counters  # the empty graph has no maximal cliques
 
+    bg = core = None
+    if backend == "bitset":
+        bg, inner_sink, core = _bit_view(work, bit_order, inner_sink)
     ctx = make_context(
         inner_sink,
         counters,
@@ -247,7 +313,7 @@ def run_vertex(
     )
     if backend == "bitset":
         return _run_vertex_bitset(work, ordering_kind, ctx, counters,
-                                  initial_x)
+                                  initial_x, bg, core)
 
     adj = work.adj
     if ordering_kind is None:
@@ -283,31 +349,43 @@ def _run_vertex_bitset(
     ordering_kind: str | None,
     ctx,
     counters: Counters,
-    initial_x: frozenset[int] = frozenset(),
+    initial_x: frozenset[int],
+    bg,
+    core=None,
 ) -> Counters:
-    """Bitmask twin of the ``run_vertex`` initial branch."""
-    from repro.graph.bitadj import BitGraph, mask_of
+    """Bitmask twin of the ``run_vertex`` initial branch.
 
-    bg = BitGraph.from_graph(work)
+    Runs entirely in ``bg``'s bit space — root vertices, candidate and
+    exclusion masks are all bit positions; ``ctx.sink`` translates back to
+    vertex ids when the packing is non-identity.  ``core`` is the
+    degeneracy decomposition the bit view already computed (if any), so a
+    "degeneracy" initial ordering needs no second peel.
+    """
     masks = bg.masks
-    x_mask = mask_of(initial_x)
+    bit_of = bg.bit_of
+    x_mask = bg.mask_of_vertices(initial_x)
     if ordering_kind is None:
         ctx.phase([], bg.vertex_mask & ~x_mask, x_mask, masks, masks, ctx)
         return counters
 
-    order = vertex_ordering(work, ordering_kind)
+    if ordering_kind == "degeneracy" and core is not None:
+        order = core.order
+    else:
+        order = vertex_ordering(work, ordering_kind)
     position = [0] * work.n
     for i, v in enumerate(order):
         position[v] = i
     adj = work.adj
     for v in order:
-        if x_mask >> v & 1:
+        bv = bit_of[v]
+        if x_mask >> bv & 1:
             continue
         later = 0
         pv = position[v]
         for w in adj[v]:
-            if position[w] > pv and not x_mask >> w & 1:
-                later |= 1 << w
-        earlier = masks[v] & ~later
-        ctx.phase([v], later, earlier, masks, masks, ctx)
+            bw = bit_of[w]
+            if position[w] > pv and not x_mask >> bw & 1:
+                later |= 1 << bw
+        earlier = masks[bv] & ~later
+        ctx.phase([bv], later, earlier, masks, masks, ctx)
     return counters

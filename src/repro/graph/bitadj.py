@@ -33,6 +33,52 @@ from typing import Iterable, Iterator, Sequence
 from repro.exceptions import InvalidParameterError, InvalidVertexError
 from repro.graph.adjacency import Graph
 
+#: Named bit orders accepted wherever a ``bit_order`` knob is exposed.
+#: "input" packs vertex ``v`` into bit ``v`` (the identity mapping);
+#: "degeneracy" packs the degeneracy core into the low mask words.
+BIT_ORDERS = ("input", "degeneracy")
+
+#: The bitset backend's default packing.  Degeneracy packing keeps the hot
+#: (high-core) vertices in the low digits, so the candidate masks of deep
+#: branches are short integers; see :func:`resolve_bit_order`.
+DEFAULT_BIT_ORDER = "degeneracy"
+
+
+def resolve_bit_order(
+    g: Graph,
+    bit_order: str | Sequence[int] | None,
+    *,
+    degeneracy_order: Sequence[int] | None = None,
+) -> list[int] | None:
+    """Turn a ``bit_order`` knob value into a vertex permutation (or ``None``).
+
+    ``None`` and ``"input"`` give the identity mapping (``None`` return).
+    ``"degeneracy"`` packs the *reverse* of the degeneracy peel order:
+    bit 0 holds the last-peeled (highest-core) vertex.  Candidate sets of
+    deep branches live inside the dense core, so under this packing their
+    masks have small ``bit_length`` — CPython's arbitrary-precision ints
+    drop leading zero digits, making every AND/popcount on them cheap.
+    ``degeneracy_order``, when supplied, skips recomputing the peel order
+    (the parallel workers already hold it).
+
+    An explicit permutation sequence passes through unchanged (validated by
+    :meth:`BitGraph.from_graph`).
+    """
+    if bit_order is None or bit_order == "input":
+        return None
+    if bit_order == "degeneracy":
+        if degeneracy_order is None:
+            from repro.graph.coreness import core_decomposition
+
+            degeneracy_order = core_decomposition(g).order
+        return list(reversed(degeneracy_order))
+    if isinstance(bit_order, str):
+        raise InvalidParameterError(
+            f"unknown bit_order {bit_order!r}; expected one of {BIT_ORDERS} "
+            "or an explicit vertex permutation"
+        )
+    return list(bit_order)
+
 
 def popcount(mask: int) -> int:
     """Number of set bits (vertices) in ``mask``."""
@@ -93,8 +139,17 @@ class BitGraph:
         self.bit_of = bit_of
 
     @classmethod
-    def from_graph(cls, g: Graph, order: Sequence[int] | None = None) -> "BitGraph":
-        """Build the bit view of ``g`` under the given vertex→bit mapping."""
+    def from_graph(
+        cls, g: Graph, order: str | Sequence[int] | None = None
+    ) -> "BitGraph":
+        """Build the bit view of ``g`` under the given vertex→bit mapping.
+
+        ``order`` is either an explicit permutation (vertex packed into each
+        bit position), a named order from :data:`BIT_ORDERS`, or ``None``
+        for the identity mapping.
+        """
+        if isinstance(order, str):
+            order = resolve_bit_order(g, order)
         n = g.n
         if order is None:
             to_vertex = list(range(n))
@@ -123,6 +178,26 @@ class BitGraph:
     def _check_bit(self, b: int) -> None:
         if not 0 <= b < self.n:
             raise InvalidVertexError(b)
+
+    @property
+    def is_identity(self) -> bool:
+        """Whether bit ``b`` is graph vertex ``b`` (no translation needed)."""
+        to_vertex = self.to_vertex
+        return to_vertex is self.bit_of \
+            or all(v == b for b, v in enumerate(to_vertex))
+
+    def vertex_tuple(self, bits: Iterable[int]) -> tuple[int, ...]:
+        """Translate an iterable of bit positions to graph vertex ids."""
+        to_vertex = self.to_vertex
+        return tuple(to_vertex[b] for b in bits)
+
+    def mask_of_vertices(self, vertices: Iterable[int]) -> int:
+        """Bitmask with the bit of every listed graph vertex set."""
+        bit_of = self.bit_of
+        mask = 0
+        for v in vertices:
+            mask |= 1 << bit_of[v]
+        return mask
 
     @property
     def vertex_mask(self) -> int:

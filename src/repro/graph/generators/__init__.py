@@ -27,6 +27,7 @@ from repro.graph.generators.structured import (
     grid_2d,
     moon_moser,
     planted_cliques,
+    plex_caveman,
     random_2_plex,
     random_3_plex,
     relaxed_caveman,
@@ -50,6 +51,7 @@ __all__ = [
     "overlapping_communities",
     "paper_stats",
     "planted_cliques",
+    "plex_caveman",
     "random_2_plex",
     "random_3_plex",
     "relaxed_caveman",

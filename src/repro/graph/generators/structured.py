@@ -132,6 +132,52 @@ def ring_of_cliques(num_cliques: int, clique_size: int) -> Graph:
     return g
 
 
+def plex_caveman(
+    num_cliques: int,
+    clique_size: int,
+    plex_pairs: int,
+    seed: int | None = None,
+) -> Graph:
+    """A ring of 2-plex communities: the early-termination-heavy caveman.
+
+    Like :func:`ring_of_cliques`, but each community is a clique minus a
+    random matching of ``plex_pairs`` disjoint pairs — a 2-plex with
+    ``2 ** plex_pairs`` maximal cliques (Algorithm 5's input class).  A
+    branch that reaches a community resolves it entirely by early
+    termination, so enumeration time is dominated by the plex
+    construction; the family exists to exercise and benchmark that path
+    (``benchmarks/bench_et_bitset.py``).
+    """
+    if num_cliques < 3 or clique_size < 2:
+        raise InvalidParameterError(
+            "need >= 3 communities of size >= 2 "
+            f"(got {num_cliques}, {clique_size})"
+        )
+    if plex_pairs < 0 or 2 * plex_pairs > clique_size:
+        raise InvalidParameterError(
+            f"plex_pairs must satisfy 0 <= 2 * pairs <= clique_size "
+            f"(got {plex_pairs} pairs for size {clique_size})"
+        )
+    rng = random.Random(seed)
+    g = Graph(num_cliques * clique_size)
+    for c in range(num_cliques):
+        base = c * clique_size
+        for i in range(clique_size):
+            for j in range(i + 1, clique_size):
+                g.add_edge(base + i, base + j)
+        members = list(range(clique_size))
+        rng.shuffle(members)
+        for p in range(plex_pairs):
+            g.remove_edge(base + members[2 * p], base + members[2 * p + 1])
+    # Ring bridges between consecutive communities keep the graph
+    # connected without creating new maximal cliques beyond the bridges.
+    for c in range(num_cliques):
+        u = c * clique_size
+        v = ((c + 1) % num_cliques) * clique_size + 1
+        g.add_edge(u, v)
+    return g
+
+
 def relaxed_caveman(
     num_cliques: int,
     clique_size: int,

@@ -175,7 +175,9 @@ def _subproblem_graph(
 
 #: options the in-place phase path understands; anything else (a future
 #: engine knob the phase cannot honour) routes to the full framework.
-_IN_PLACE_OPTIONS = frozenset({"backend", "et_threshold", "graph_reduction"})
+_IN_PLACE_OPTIONS = frozenset(
+    {"backend", "et_threshold", "graph_reduction", "bit_order"}
+)
 
 
 def uses_in_place_phase(algorithm: str, options: dict) -> bool:
@@ -217,11 +219,21 @@ def _solve_in_place(
     counters = Counters()
     ctx = make_context(out.append, counters, backend=backend, **kwargs)
     if backend == "bitset":
-        from repro.graph.bitadj import BitGraph, mask_of
+        from repro.graph.bitadj import DEFAULT_BIT_ORDER, BitGraph
 
-        bg = bit_graph if bit_graph is not None else BitGraph.from_graph(g)
+        bit_order = options.get("bit_order")
+        if bit_order is None:
+            bit_order = DEFAULT_BIT_ORDER
+        bg = bit_graph if bit_graph is not None else BitGraph.from_graph(
+            g, order=bit_order
+        )
         masks = bg.masks
-        ctx.phase([v], mask_of(later), mask_of(earlier), masks, masks, ctx)
+        ctx.phase([bg.bit_of[v]], bg.mask_of_vertices(later),
+                  bg.mask_of_vertices(earlier), masks, masks, ctx)
+        if not bg.is_identity:
+            # Branch state ran in bit space; map emitted bits back.
+            to_vertex = bg.to_vertex
+            out[:] = [tuple(to_vertex[b] for b in clique) for clique in out]
     else:
         adj = g.adj
         ctx.phase([v], set(later), set(earlier), adj, adj, ctx)

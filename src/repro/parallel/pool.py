@@ -55,12 +55,25 @@ class WorkerState:
 
         The X-aware in-place path runs bitset subproblems on global
         masks; building them per subproblem would be O(m) each, so each
-        worker (or the inline runner) materialises the view once.
+        worker (or the inline runner) materialises the view once.  The
+        view honours the run's ``bit_order`` option (degeneracy packing
+        by default), reusing the decomposition's already-computed peel
+        order, so every subproblem inherits the packing for free.
         """
         if self._bit_graph is None:
-            from repro.graph.bitadj import BitGraph
+            from repro.graph.bitadj import (
+                DEFAULT_BIT_ORDER,
+                BitGraph,
+                resolve_bit_order,
+            )
 
-            self._bit_graph = BitGraph.from_graph(self.graph)
+            bit_order = self.options.get("bit_order")
+            if bit_order is None:
+                bit_order = DEFAULT_BIT_ORDER
+            order = resolve_bit_order(
+                self.graph, bit_order, degeneracy_order=self.order,
+            )
+            self._bit_graph = BitGraph.from_graph(self.graph, order=order)
         return self._bit_graph
 
 

@@ -1,6 +1,12 @@
-"""Unit tests for counters and run reports."""
+"""Unit tests for counters and run reports, plus the set/bitset
+counter-parity regression pins for the early-termination path."""
 
+import pytest
+
+from repro.api import enumerate_to_sink
 from repro.core.counters import Counters, RunReport
+from repro.core.result import CliqueCounter
+from repro.graph.generators import erdos_renyi_gnm, erdos_renyi_gnp, plex_caveman
 
 
 class TestCounters:
@@ -31,6 +37,101 @@ class TestCounters:
         assert a.vertex_calls == 11
         assert a.edge_calls == 3
         assert a.et_hits == 2
+
+
+def _run_counters(g, algorithm, backend, **options):
+    counter = CliqueCounter()
+    counters = enumerate_to_sink(g, counter, algorithm=algorithm,
+                                 backend=backend, **options)
+    return counters.as_dict()
+
+
+#: the counters a silent ET-path divergence would move first.
+ET_KEYS = ("plex_branches", "plex_terminable", "et_hits", "et_cliques",
+           "emitted")
+
+DENSE_SEED_GRAPHS = [
+    ("gnm-50-650", erdos_renyi_gnm(50, 650, seed=42)),
+    ("gnp-40-06", erdos_renyi_gnp(40, 0.6, seed=13)),
+    ("plex-caveman", plex_caveman(3, 12, 3, seed=1)),
+]
+
+
+class TestBackendCounterParity:
+    """ET counters pinned between backends on fixed dense seeds.
+
+    The edge engine branches identically under both representations, so
+    its counters must agree *exactly* — a silent divergence anywhere in
+    the bit-native ET path (plex check, decomposition, clique assembly)
+    fails here loudly.  The tomita vertex phases may legitimately pick
+    different equal-degree pivots per backend (documented in
+    :mod:`repro.core.bit_phases`), so for them the per-configuration
+    counter values are pinned literally instead.
+    """
+
+    @pytest.mark.parametrize("bit_order", ["input", "degeneracy"])
+    @pytest.mark.parametrize(
+        "graph", [g for _, g in DENSE_SEED_GRAPHS],
+        ids=[name for name, _ in DENSE_SEED_GRAPHS],
+    )
+    def test_edge_engine_exact_parity(self, graph, bit_order):
+        set_counters = _run_counters(graph, "ebbmc++", "set")
+        bit_counters = _run_counters(graph, "ebbmc++", "bitset",
+                                     bit_order=bit_order)
+        assert bit_counters == set_counters
+        assert set_counters["et_hits"] > 0  # the pin actually covers ET
+
+    #: regenerate with scripts in this file's history if branching rules
+    #: change intentionally; any *unintentional* drift must fail.
+    PINNED = {
+        ("hbbmc++", "set", None): {
+            "plex_branches": 1711, "plex_terminable": 446, "et_hits": 446,
+            "et_cliques": 811, "emitted": 1150,
+        },
+        ("hbbmc++", "bitset", "input"): {
+            "plex_branches": 1724, "plex_terminable": 450, "et_hits": 450,
+            "et_cliques": 817, "emitted": 1150,
+        },
+        ("hbbmc++", "bitset", "degeneracy"): {
+            "plex_branches": 1734, "plex_terminable": 451, "et_hits": 451,
+            "et_cliques": 810, "emitted": 1150,
+        },
+        ("vbbmc-dgn", "set", None): {
+            "plex_branches": 872, "plex_terminable": 473, "et_hits": 473,
+            "et_cliques": 827, "emitted": 1150,
+        },
+        ("vbbmc-dgn", "bitset", "input"): {
+            "plex_branches": 870, "plex_terminable": 489, "et_hits": 489,
+            "et_cliques": 848, "emitted": 1150,
+        },
+        ("vbbmc-dgn", "bitset", "degeneracy"): {
+            "plex_branches": 880, "plex_terminable": 480, "et_hits": 480,
+            "et_cliques": 827, "emitted": 1150,
+        },
+    }
+
+    @pytest.mark.parametrize("key", sorted(PINNED, key=str))
+    def test_vertex_engine_pinned_counters(self, key):
+        algorithm, backend, bit_order = key
+        g = erdos_renyi_gnm(50, 650, seed=42)
+        options = {"bit_order": bit_order} if bit_order else {}
+        counters = _run_counters(g, algorithm, backend, **options)
+        assert {k: counters[k] for k in ET_KEYS} == self.PINNED[key]
+
+    @pytest.mark.parametrize(
+        "graph", [g for _, g in DENSE_SEED_GRAPHS],
+        ids=[name for name, _ in DENSE_SEED_GRAPHS],
+    )
+    @pytest.mark.parametrize("algorithm", ["hbbmc++", "vbbmc-dgn"])
+    def test_assembled_clique_counts_match(self, algorithm, graph):
+        """Whatever the pivot ties do, the assembled output cannot move."""
+        set_counters = _run_counters(graph, algorithm, "set")
+        for bit_order in ("input", "degeneracy"):
+            bit_counters = _run_counters(graph, algorithm, "bitset",
+                                         bit_order=bit_order)
+            assert bit_counters["emitted"] == set_counters["emitted"]
+            assert bit_counters["et_hits"] == bit_counters["plex_terminable"]
+            assert bit_counters["et_cliques"] >= bit_counters["et_hits"]
 
 
 class TestRunReport:

@@ -123,6 +123,30 @@ class TestStructured:
         with pytest.raises(InvalidParameterError):
             ring_of_cliques(2, 3)
 
+    def test_plex_caveman_structure(self):
+        from repro.api import count_maximal_cliques
+        from repro.graph.generators import plex_caveman
+
+        num, size, pairs = 4, 8, 2
+        g = plex_caveman(num, size, pairs, seed=5)
+        assert g.n == num * size
+        # Each community is a clique minus a perfect matching prefix.
+        assert g.m == num * (size * (size - 1) // 2 - pairs) + num
+        for c in range(num):
+            members = set(range(c * size, (c + 1) * size))
+            assert is_t_plex(members, g.adj, 2)
+            assert not is_t_plex(members, g.adj, 1)
+        # 2^pairs maximal cliques per community, plus one per bridge.
+        assert count_maximal_cliques(g) == num * 2 ** pairs + num
+
+    def test_plex_caveman_bad(self):
+        from repro.graph.generators import plex_caveman
+
+        with pytest.raises(InvalidParameterError):
+            plex_caveman(2, 8, 2)
+        with pytest.raises(InvalidParameterError):
+            plex_caveman(4, 6, 4)  # 2 * pairs > clique_size
+
     def test_relaxed_caveman_size(self):
         g = relaxed_caveman(5, 4, 0.2, seed=8)
         assert g.n == 20

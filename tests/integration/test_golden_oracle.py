@@ -1,5 +1,5 @@
-"""Golden-oracle fixtures: every algorithm/backend/n_jobs combination
-reproduces the committed clique sets bit for bit.
+"""Golden-oracle fixtures: every algorithm/backend/bit-order/n_jobs
+combination reproduces the committed clique sets bit for bit.
 
 ``tests/fixtures/golden.json`` pins, for each committed graph, the clique
 count and the SHA256 fingerprint of the canonical sorted clique list
@@ -22,11 +22,17 @@ from repro.verify import clique_fingerprint
 FIXTURES_DIR = pathlib.Path(__file__).parent.parent / "fixtures"
 GOLDEN = json.loads((FIXTURES_DIR / "golden.json").read_text())
 
-#: backend is a branch-and-bound knob; reverse-search takes none.
-def _backends(algorithm: str) -> list[str | None]:
+#: backend/bit-order are branch-and-bound knobs; reverse-search takes none.
+#: The bitset backend runs under both packings so a bit-order-dependent
+#: regression (translation, ET construction, edge-rank mapping) is caught.
+def _backend_options(algorithm: str) -> list[dict]:
     if ALGORITHMS[algorithm].family == "reverse-search":
-        return [None]
-    return ["set", "bitset"]
+        return [{}]
+    return [
+        {"backend": "set"},
+        {"backend": "bitset", "bit_order": "input"},
+        {"backend": "bitset", "bit_order": "degeneracy"},
+    ]
 
 
 _GRAPH_CACHE: dict[str, object] = {}
@@ -56,8 +62,7 @@ def test_fixture_files_match_manifest(name):
 @pytest.mark.parametrize("name", sorted(GOLDEN))
 def test_serial_reproduces_golden(name, algorithm):
     g = _graph(name)
-    for backend in _backends(algorithm):
-        options = {"backend": backend} if backend else {}
+    for options in _backend_options(algorithm):
         _check(name, maximal_cliques(g, algorithm=algorithm, **options))
 
 
@@ -66,8 +71,7 @@ def test_serial_reproduces_golden(name, algorithm):
 @pytest.mark.parametrize("name", sorted(GOLDEN))
 def test_parallel_reproduces_golden(name, algorithm, n_jobs):
     g = _graph(name)
-    for backend in _backends(algorithm):
-        options = {"backend": backend} if backend else {}
+    for options in _backend_options(algorithm):
         _check(name, maximal_cliques(g, algorithm=algorithm, n_jobs=n_jobs,
                                      **options))
 

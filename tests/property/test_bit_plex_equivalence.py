@@ -1,0 +1,210 @@
+"""Differential suite: bit-native ET mirrors the set-backed oracle exactly.
+
+The bitset engines construct plex-branch cliques directly on masks
+(:mod:`repro.core.bit_plex`).  The set-backed machinery —
+:func:`repro.graph.plex.decompose_complement` +
+:func:`repro.core.early_termination.fire_plex` — stays the audited oracle,
+and this suite holds the two implementations together at every level:
+
+* for random subsets of random graphs, the mask decomposition and the set
+  decomposition agree on the component structure (universal set, every
+  path, every cycle, in the same traversal order) or raise
+  :class:`NotAPlexError` together;
+* for **every branch where ET actually fires** inside a real engine run
+  (captured via :func:`repro.core.bit_plex.et_implementation`), the
+  bit-native construction and the set oracle emit the identical clique
+  sequence with identical counter movements — across the vertex/hybrid
+  engine, the edge engine, and both bit orders;
+* end to end, the bit-native default reproduces the set backend's clique
+  fingerprint for n_jobs in {1, 2}.
+"""
+
+import random
+from types import SimpleNamespace
+
+import pytest
+
+from repro.api import enumerate_to_sink, maximal_cliques
+from repro.core.bit_plex import (
+    bit_decompose_complement,
+    bit_fire_plex,
+    bit_fire_plex_roundtrip,
+    bit_plex_branch_cliques,
+    et_implementation,
+)
+from repro.core.counters import Counters
+from repro.core.early_termination import fire_plex, plex_branch_cliques
+from repro.core.result import CliqueCollector
+from repro.exceptions import NotAPlexError
+from repro.graph.bitadj import BitGraph, iter_bits
+from repro.graph.generators import (
+    barabasi_albert,
+    erdos_renyi_gnm,
+    erdos_renyi_gnp,
+    moon_moser,
+    plex_caveman,
+    random_2_plex,
+    random_3_plex,
+)
+from repro.graph.plex import decompose_complement
+
+ENGINES_UNDER_TEST = ["hbbmc++", "ebbmc++", "vbbmc-dgn"]
+
+ET_GRAPH_CASES = [
+    ("erdos-renyi-gnm", erdos_renyi_gnm(40, 500, seed=1)),
+    ("erdos-renyi-gnp", erdos_renyi_gnp(36, 0.55, seed=2)),
+    ("barabasi-albert", barabasi_albert(40, 6, seed=3)),
+    ("random-2-plex", random_2_plex(20, seed=4)),
+    ("random-3-plex", random_3_plex(22, seed=5)),
+    ("plex-caveman", plex_caveman(4, 12, 2, seed=6)),
+    ("moon-moser", moon_moser(4)),
+]
+
+
+def _branch_sets(C: int, cand) -> tuple[set[int], dict[int, set[int]]]:
+    """A captured mask branch as (members, within-C set adjacency)."""
+    members = set(iter_bits(C))
+    return members, {v: set(iter_bits(cand[v] & C)) for v in members}
+
+
+def _structures_match(C: int, cand) -> None:
+    members, adjacency = _branch_sets(C, cand)
+    bit_structure = bit_decompose_complement(C, cand)
+    set_structure = decompose_complement(members, adjacency)
+    assert sorted(iter_bits(bit_structure.universal)) == set_structure.universal
+    assert bit_structure.paths == set_structure.paths
+    assert bit_structure.cycles == set_structure.cycles
+    assert (bit_structure.max_complement_degree
+            == set_structure.max_complement_degree)
+    assert bit_structure.plex_level == set_structure.plex_level
+
+
+def _fire_ctx():
+    collector = []
+    return SimpleNamespace(counters=Counters(), sink=collector.append), collector
+
+
+def _canonical(emitted: list) -> list:
+    """Per-clique member order is an implementation detail (the set oracle
+    emits its universal vertices in set-iteration order); the clique
+    *sequence* is not, so canonicalise members but keep the order."""
+    return [tuple(sorted(clique)) for clique in emitted]
+
+
+def _emissions_match(S, C, cand, min_cand_degree) -> None:
+    members, adjacency = _branch_sets(C, cand)
+    bit_ctx, bit_out = _fire_ctx()
+    bit_fire_plex(list(S), C, cand, bit_ctx, min_cand_degree)
+    set_ctx, set_out = _fire_ctx()
+    fire_plex(list(S), members, adjacency, set_ctx, min_cand_degree)
+    # Same clique sequence, and the same counter movements.
+    assert _canonical(bit_out) == _canonical(set_out)
+    assert bit_ctx.counters.as_dict() == set_ctx.counters.as_dict()
+
+    # The roundtrip reference (the pre-bit-native path) agrees too.
+    rt_ctx, rt_out = _fire_ctx()
+    bit_fire_plex_roundtrip(list(S), C, cand, rt_ctx, min_cand_degree)
+    assert _canonical(rt_out) == _canonical(set_out)
+    assert rt_ctx.counters.as_dict() == set_ctx.counters.as_dict()
+
+
+class TestDecompositionAgainstOracle:
+    """bit_decompose_complement vs plex.decompose_complement on raw masks."""
+
+    @pytest.mark.parametrize("seed", range(8))
+    def test_random_subsets_agree_or_raise_together(self, seed):
+        rng = random.Random(seed)
+        g = erdos_renyi_gnp(18, rng.uniform(0.5, 0.9), seed=seed)
+        bg = BitGraph.from_graph(g)
+        for _ in range(40):
+            size = rng.randrange(1, g.n + 1)
+            members = rng.sample(range(g.n), size)
+            C = 0
+            for v in members:
+                C |= 1 << v
+            try:
+                set_structure = decompose_complement(set(members), g.adj)
+            except NotAPlexError:
+                with pytest.raises(NotAPlexError):
+                    bit_decompose_complement(C, bg.masks)
+                continue
+            bit_structure = bit_decompose_complement(C, bg.masks)
+            assert (sorted(iter_bits(bit_structure.universal))
+                    == set_structure.universal)
+            assert bit_structure.paths == set_structure.paths
+            assert bit_structure.cycles == set_structure.cycles
+
+    @pytest.mark.parametrize("seed", range(4))
+    def test_plex_clique_masks_match_tuples(self, seed):
+        g = random_3_plex(16, seed=seed)
+        bg = BitGraph.from_graph(g)
+        C = bg.vertex_mask
+        masks = list(bit_plex_branch_cliques(C, bg.masks))
+        assert len(masks) == len(set(masks))
+        tuples = sorted(
+            tuple(sorted(q))
+            for q in plex_branch_cliques(set(range(g.n)), g.adj)
+        )
+        assert sorted(tuple(iter_bits(m)) for m in masks) == tuples
+
+
+#: combinations whose every plex branch is small enough for the engines'
+#: tiny-candidate casework, so the construction path never fires (the
+#: hybrid's edge phase prunes BA's sparse branches below |C| = 3).
+NEVER_FIRES = {("barabasi-albert", "hbbmc++")}
+
+
+class TestEveryFiredBranch:
+    """Capture real engine fires; replay both constructions differentially."""
+
+    @pytest.mark.parametrize("bit_order", ["input", "degeneracy"])
+    @pytest.mark.parametrize("algorithm", ENGINES_UNDER_TEST)
+    @pytest.mark.parametrize(
+        "case", ET_GRAPH_CASES, ids=[name for name, _ in ET_GRAPH_CASES],
+    )
+    def test_fired_branches_match_oracle(self, case, algorithm, bit_order):
+        name, graph = case
+        captured = []
+
+        def capturing(S, C, cand, ctx, min_cand_degree=None):
+            snapshot = {v: cand[v] for v in iter_bits(C)}
+            captured.append((list(S), C, snapshot, min_cand_degree))
+            bit_fire_plex(S, C, cand, ctx, min_cand_degree)
+
+        collector = CliqueCollector()
+        with et_implementation(capturing):
+            enumerate_to_sink(graph, collector, algorithm=algorithm,
+                              backend="bitset", bit_order=bit_order)
+        if (name, algorithm) in NEVER_FIRES:
+            assert not captured
+        else:
+            assert captured, "expected early termination to fire here"
+        assert (collector.sorted_cliques()
+                == maximal_cliques(graph, algorithm=algorithm, backend="set"))
+        for S, C, cand, min_cand_degree in captured:
+            _structures_match(C, cand)
+            _emissions_match(S, C, cand, min_cand_degree)
+            # The fast-path hint must not change what is emitted.
+            if min_cand_degree is not None:
+                _emissions_match(S, C, cand, None)
+
+
+class TestPipelineEquivalence:
+    """Bit-native ET end to end: engines x bit orders x worker counts."""
+
+    @pytest.mark.parametrize("n_jobs", [1, 2])
+    @pytest.mark.parametrize("algorithm", ENGINES_UNDER_TEST)
+    def test_parallel_bitset_matches_serial_set(self, algorithm, n_jobs):
+        g = erdos_renyi_gnm(40, 500, seed=7)
+        reference = maximal_cliques(g, algorithm=algorithm, backend="set")
+        assert maximal_cliques(g, algorithm=algorithm, backend="bitset",
+                               n_jobs=n_jobs) == reference
+
+    @pytest.mark.parametrize("algorithm", ENGINES_UNDER_TEST)
+    def test_roundtrip_implementation_matches_native(self, algorithm):
+        g = plex_caveman(4, 12, 2, seed=8)
+        native = maximal_cliques(g, algorithm=algorithm, backend="bitset")
+        with et_implementation(bit_fire_plex_roundtrip):
+            roundtrip = maximal_cliques(g, algorithm=algorithm,
+                                        backend="bitset")
+        assert roundtrip == native

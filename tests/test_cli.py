@@ -59,6 +59,37 @@ class TestBackendFlag:
         assert "skipped" in out  # reverse-search has no bitset backend
 
 
+class TestBitOrderFlag:
+    @pytest.mark.parametrize("bit_order", ["input", "degeneracy"])
+    def test_enumerate_bit_orders_agree(self, graph_file, bit_order, capsys):
+        assert main(["enumerate", graph_file, "--backend", "bitset",
+                     "--bit-order", bit_order]) == 0
+        assert capsys.readouterr().out.strip() == "0 1 2 3"  # K4
+
+    def test_bit_order_without_bitset_exits_2(self, graph_file, capsys):
+        assert main(["enumerate", graph_file,
+                     "--bit-order", "degeneracy"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "--bit-order" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_bit_order_misuse_not_swallowed_by_count_all(self, graph_file,
+                                                         capsys):
+        # --all's skip path is for per-algorithm incompatibilities, not
+        # global flag misuse: this must exit 2, not print 23 "skipped"s.
+        assert main(["count", graph_file, "--all",
+                     "--bit-order", "degeneracy"]) == 2
+        err = capsys.readouterr().err
+        assert "--bit-order" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_bit_order_documented_in_help(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["enumerate", "--help"])
+        assert "--bit-order" in capsys.readouterr().out
+
+
 class TestJobsFlag:
     def test_enumerate_parallel_matches_serial(self, graph_file, capsys):
         assert main(["enumerate", graph_file]) == 0
