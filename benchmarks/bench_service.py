@@ -1,0 +1,181 @@
+"""Warm-pool service benchmark: cold vs warm latency, sustained rps.
+
+For each family the harness starts a fresh :class:`CliqueService`
+(``n_jobs`` workers), registers the graph, then issues repeated ``count``
+requests.  The first request is *cold* — it pays the full prologue
+(degeneracy decomposition + cost model, worker-pool spin-up, graph-state
+ship) — and every later request is *warm*: pure enumeration compute
+against the cached artifacts and the live pool.  Recorded per cell:
+
+* ``cold_seconds`` — the first request's latency;
+* ``warm_seconds`` — the median warm-request latency;
+* ``warm_vs_cold`` — the amortisation headline (the acceptance bar is
+  >= 2x on repeated count requests);
+* ``requests_per_second`` — sustained warm throughput;
+* ``oneshot_seconds`` — ``count_maximal_cliques(g, n_jobs=...)`` on the
+  classic one-shot path, which re-pays the prologue every call (what a
+  caller without the service would see per request).
+
+Families mirror the parallel/ET benches: dense Erdős–Rényi (branchy,
+pivot-heavy) and plex-caveman (early-termination-heavy).  Counts are
+cross-checked against the direct serial path, and the service stats are
+asserted flat (one decompose, at most one spin-up, one ship) so the
+benchmark cannot silently measure a cache miss.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py
+    PYTHONPATH=src python benchmarks/bench_service.py --smoke
+
+The full run writes ``BENCH_service.json`` at the repository root (the
+committed perf baseline); ``--smoke`` is the CI mode — tiny graphs, few
+repeats, results to a scratch path by default.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import platform
+import statistics
+import sys
+import time
+
+_SRC = pathlib.Path(__file__).parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.api import count_maximal_cliques
+from repro.graph.generators import erdos_renyi_gnm, plex_caveman
+from repro.service import CliqueService
+
+
+def workloads(smoke: bool):
+    """(family, graph) pairs; sizes keep warm requests in the tens of ms."""
+    if smoke:
+        return [
+            ("er-dense", erdos_renyi_gnm(40, 300, seed=11)),
+            ("plex-caveman", plex_caveman(5, 15, 3, seed=3)),
+        ]
+    return [
+        ("er-dense", erdos_renyi_gnm(90, 1100, seed=11)),
+        ("plex-caveman", plex_caveman(6, 28, 3, seed=3)),
+    ]
+
+
+def bench_family(family: str, g, *, n_jobs: int, warm_requests: int,
+                 cold_cycles: int = 3, algorithm: str = "hbbmc++") -> dict:
+    serial_count = count_maximal_cliques(g, algorithm=algorithm)
+
+    oneshot_start = time.perf_counter()
+    oneshot_count = count_maximal_cliques(g, algorithm=algorithm,
+                                          n_jobs=n_jobs)
+    oneshot_seconds = time.perf_counter() - oneshot_start
+    assert oneshot_count == serial_count
+
+    # Each cycle is one service lifetime: a single cold request (fresh
+    # pool + empty artifact cache) followed by a warm burst.  Medians
+    # over the cycles keep one noisy fork() from defining the headline.
+    cold_samples: list[float] = []
+    warm_samples: list[float] = []
+    stats = None
+    for _ in range(max(1, cold_cycles)):
+        with CliqueService(n_jobs=n_jobs) as service:
+            service.register(g, name=family)
+
+            cold_start = time.perf_counter()
+            cold = service.count(family, algorithm=algorithm)
+            cold_samples.append(time.perf_counter() - cold_start)
+            assert cold["count"] == serial_count
+
+            for _ in range(warm_requests):
+                start = time.perf_counter()
+                result = service.count(family, algorithm=algorithm)
+                warm_samples.append(time.perf_counter() - start)
+                assert result["count"] == serial_count
+                assert result["warm"], \
+                    "warm request missed the artifact cache"
+
+            stats = service.stats()
+        assert stats["decompose_calls"] == 1, stats
+        assert stats["pool_spinups"] <= 1, stats
+        assert stats["graph_ships"] <= 1, stats
+
+    cold_seconds = statistics.median(cold_samples)
+    warm_median = statistics.median(warm_samples)
+    return {
+        "family": family,
+        "n": g.n,
+        "m": g.m,
+        "algorithm": algorithm,
+        "cliques": serial_count,
+        "n_jobs": n_jobs,
+        "warm_requests": warm_requests,
+        "cold_cycles": len(cold_samples),
+        "cold_seconds": round(cold_seconds, 6),
+        "warm_seconds": round(warm_median, 6),
+        "warm_vs_cold": round(cold_seconds / warm_median, 3)
+        if warm_median else 0.0,
+        "requests_per_second": round(len(warm_samples) / sum(warm_samples), 2)
+        if warm_samples else 0.0,
+        "oneshot_seconds": round(oneshot_seconds, 6),
+        "start_method": stats["start_method"],
+    }
+
+
+def run(smoke: bool, n_jobs: int, warm_requests: int) -> dict:
+    cells = []
+    for family, g in workloads(smoke):
+        cell = bench_family(family, g, n_jobs=n_jobs,
+                            warm_requests=warm_requests,
+                            cold_cycles=2 if smoke else 3)
+        cells.append(cell)
+        print(f"{family:14s} n={cell['n']:4d} m={cell['m']:5d}  "
+              f"cold={cell['cold_seconds']:8.4f}s  "
+              f"warm={cell['warm_seconds']:8.4f}s  "
+              f"x{cell['warm_vs_cold']:6.2f}  "
+              f"{cell['requests_per_second']:7.1f} req/s")
+    return {
+        "experiment": "service",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "smoke": smoke,
+        "n_jobs": n_jobs,
+        "cells": cells,
+        "min_warm_vs_cold": min(c["warm_vs_cold"] for c in cells),
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny graphs, few repeats (CI smoke mode)")
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="warm-pool worker processes (default: 2)")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="warm requests per cell (default: 10; 3 in "
+                             "--smoke mode)")
+    parser.add_argument("--out", default=None,
+                        help="output JSON path (default: BENCH_service.json "
+                             "at the repo root; /tmp scratch in --smoke mode)")
+    args = parser.parse_args(argv)
+
+    warm_requests = args.requests if args.requests is not None \
+        else (3 if args.smoke else 10)
+    results = run(args.smoke, args.jobs, warm_requests)
+
+    if args.out:
+        out = pathlib.Path(args.out)
+    elif args.smoke:
+        out = pathlib.Path("/tmp/BENCH_service_smoke.json")
+    else:
+        out = pathlib.Path(__file__).parent.parent / "BENCH_service.json"
+    out.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {out} (min warm-vs-cold "
+          f"{results['min_warm_vs_cold']:.2f}x)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

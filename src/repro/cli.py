@@ -7,6 +7,8 @@ Sub-commands:
 * ``stats FILE``      — Table-I statistics (n, m, delta, tau, rho, condition);
 * ``datasets``        — list the bundled proxy datasets;
 * ``verify FILE``     — enumerate, then validate the result set;
+* ``serve``           — long-running warm-pool service (JSON lines over
+  stdio, or TCP with ``--port``);
 * ``bench EXP``       — shortcut for ``python -m repro.bench EXP``.
 """
 
@@ -30,6 +32,17 @@ from repro.verify import verify_enumeration
 
 def _load(args: argparse.Namespace) -> Graph:
     if args.dataset:
+        # Conflicting inputs are user errors, never silently resolved:
+        # ignoring the file (or the format) would mask which graph ran.
+        if args.graph:
+            raise InvalidParameterError(
+                f"provide a graph file or --dataset, not both "
+                f"(got {args.graph!r} and --dataset {args.dataset})"
+            )
+        if args.format is not None:
+            raise InvalidParameterError(
+                "--format applies to graph files, not --dataset graphs"
+            )
         return load_dataset(args.dataset)
     if not args.graph:
         raise SystemExit("error: provide a graph file or --dataset CODE")
@@ -112,6 +125,12 @@ def _parallel_options(args: argparse.Namespace) -> dict:
 
 
 def cmd_enumerate(args: argparse.Namespace) -> int:
+    if args.limit is not None and args.limit < 0:
+        # A negative limit would silently slice cliques off the *end* and
+        # corrupt the "(N more)" arithmetic; reject it up front.
+        raise InvalidParameterError(
+            f"--limit must be a non-negative integer, got {args.limit}"
+        )
     parallel = _parallel_options(args)
     g = _load(args)
     cliques = maximal_cliques(g, algorithm=args.algorithm,
@@ -198,6 +217,45 @@ def cmd_verify(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the warm-pool enumeration service until EOF or ``shutdown``.
+
+    Default transport is stdio (JSON lines on stdin/stdout — drive it
+    from a co-process); ``--port`` switches to TCP (``--port 0`` binds an
+    ephemeral port, announced on stderr).
+    """
+    from repro.service import CliqueService, serve_stdio, serve_tcp
+
+    n_jobs = parse_jobs(args.jobs) if args.jobs is not None else 1
+    if args.format is not None and not args.graph:
+        raise InvalidParameterError(
+            "--format applies to --graph files; none were given"
+        )
+    service = CliqueService(
+        n_jobs=n_jobs,
+        chunk_strategy=args.chunk_strategy or DEFAULT_CHUNK_STRATEGY,
+    )
+    try:
+        for code in args.dataset or []:
+            info = service.register_dataset(code)
+            print(f"registered dataset {code} as {info['name']} "
+                  f"({info['graph'][:12]})", file=sys.stderr)
+        for path in args.graph or []:
+            info = service.register_file(path, fmt=args.format)
+            print(f"registered {path} as {info['name']} "
+                  f"({info['graph'][:12]})", file=sys.stderr)
+        if args.port is not None:
+            def announce(address):
+                print(f"listening on {address[0]}:{address[1]}",
+                      file=sys.stderr, flush=True)
+
+            return serve_tcp(service, host=args.host, port=args.port,
+                             ready=announce)
+        return serve_stdio(service)
+    finally:
+        service.close()
+
+
 def cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench.__main__ import main as bench_main
 
@@ -242,6 +300,28 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("verify", help="enumerate and validate the result")
     _add_graph_arguments(p)
     p.set_defaults(fn=cmd_verify)
+
+    p = sub.add_parser("serve", help="long-running warm-pool service "
+                                     "(JSON lines over stdio or TCP)")
+    p.add_argument("--port", type=int, default=None, metavar="N",
+                   help="serve over TCP on this port (0 = ephemeral, "
+                        "announced on stderr; default: stdio)")
+    p.add_argument("--host", default="127.0.0.1",
+                   help="TCP bind address (default: 127.0.0.1)")
+    p.add_argument("--jobs", metavar="N", default=None,
+                   help="worker processes for the warm pool (positive "
+                        "integer; default: 1 = in-process)")
+    p.add_argument("--chunk-strategy", choices=CHUNK_STRATEGIES, default=None,
+                   help=f"chunk packing strategy (default: "
+                        f"{DEFAULT_CHUNK_STRATEGY})")
+    p.add_argument("--dataset", action="append", metavar="CODE",
+                   help="pre-register a bundled dataset (repeatable)")
+    p.add_argument("--graph", action="append", metavar="FILE",
+                   help="pre-register a graph file (repeatable)")
+    p.add_argument("--format", choices=["edgelist", "dimacs", "metis", "json"],
+                   default=None,
+                   help="format for --graph files (default: by suffix)")
+    p.set_defaults(fn=cmd_serve)
 
     p = sub.add_parser("bench", help="regenerate a paper table/figure")
     p.add_argument("experiment", help="experiment id or 'all'")

@@ -32,10 +32,14 @@ from repro.parallel.decompose import (
     solve_subproblem,
 )
 from repro.parallel.pool import (
+    GraphState,
     ParallelStats,
+    RequestConfig,
+    WorkerPool,
     parse_jobs,
     run_parallel,
     validate_n_jobs,
+    validate_parallel_options,
 )
 from repro.parallel.scheduler import (
     CHUNK_STRATEGIES,
@@ -57,10 +61,14 @@ __all__ = [
     "Subproblem",
     "decompose",
     "solve_subproblem",
+    "GraphState",
     "ParallelStats",
+    "RequestConfig",
+    "WorkerPool",
     "parse_jobs",
     "run_parallel",
     "validate_n_jobs",
+    "validate_parallel_options",
     "CHUNK_STRATEGIES",
     "DEFAULT_CHUNK_STRATEGY",
     "Chunk",

@@ -121,14 +121,23 @@ def _estimate_cost(g: Graph, later: set[int], model: str) -> float:
     return float(triangles // 6 + edges + size + 1)
 
 
-def decompose(g: Graph, *, cost_model: str = DEFAULT_COST_MODEL) -> Decomposition:
-    """Partition the root level of the search into per-vertex subproblems."""
+def decompose(g: Graph, *, cost_model: str = DEFAULT_COST_MODEL,
+              core=None) -> Decomposition:
+    """Partition the root level of the search into per-vertex subproblems.
+
+    ``core`` optionally supplies an already-computed
+    :func:`repro.graph.coreness.core_decomposition` of ``g`` — callers
+    that hold one (the service registry peels once at registration) skip
+    the re-peel *and* guarantee every consumer shares the same vertex
+    order.
+    """
     if cost_model not in COST_MODELS:
         raise InvalidParameterError(
             f"unknown cost model {cost_model!r}; expected one of {COST_MODELS}"
         )
     start = time.perf_counter()
-    core = core_decomposition(g)
+    if core is None:
+        core = core_decomposition(g)
     subproblems = []
     total = 0.0
     for p, v in enumerate(core.order):

@@ -1,10 +1,23 @@
 """Worker-pool driver for degeneracy-partitioned parallel enumeration.
 
-Task encoding is deliberately pickling-lean: the graph, ordering and
-algorithm configuration travel to each worker exactly once (inherited
-through ``fork`` where available, shipped through the pool initializer
-under ``spawn``); after that a task is just a :class:`Chunk` — a tuple of
-subproblem positions — and a result is one :class:`ChunkResult`.
+Task encoding is deliberately pickling-lean and split by weight:
+
+* :class:`GraphState` — the heavy per-graph payload (adjacency, degeneracy
+  order, cached bitmask views).  It travels to each worker exactly once
+  per graph: inherited through ``fork`` at pool creation, shipped through
+  the pool initializer under ``spawn``, or broadcast once to a live pool
+  (:meth:`WorkerPool.submit` with a new key) and cached worker-side.
+* :class:`RequestConfig` — the light per-request knobs (algorithm name,
+  options, sink mode, X-awareness).  A few bytes, shipped with each task.
+* a task is then just ``(graph key, config, Chunk)`` and a result is one
+  :class:`ChunkResult`.
+
+:class:`WorkerPool` owns the pool lifecycle: create once, ``submit()``
+many times (any mix of graphs and configs), explicit ``close()``.  The
+long-running service mode (:mod:`repro.service`) keeps one warm instance
+across requests so repeated queries skip the spin-up entirely;
+:func:`run_parallel` wraps a one-shot instance so classic callers see a
+single function call.
 
 ``n_jobs=1`` runs the identical decomposition + chunk pipeline in-process
 (no subprocesses), so the parallel path can be tested and profiled without
@@ -38,43 +51,64 @@ from repro.parallel.scheduler import (
 
 
 @dataclass
-class WorkerState:
-    """Everything a worker needs beyond the per-task chunk."""
+class GraphState:
+    """The heavy per-graph payload a worker caches across requests.
+
+    Holds the adjacency, the degeneracy order/position from the
+    decomposition, and lazily-built whole-graph :class:`BitGraph` views
+    keyed by their packing — everything that is a function of the *graph*
+    rather than of one request, so a warm pool ships it once and reuses
+    it for every subsequent request against the same graph.
+    """
 
     graph: Graph
     order: list[int]
     position: list[int]
+    bit_graphs: dict = field(default_factory=dict)
+
+    def bit_graph(self, options: dict):
+        """Whole-graph :class:`BitGraph` for the request's ``bit_order``.
+
+        The X-aware in-place path runs bitset subproblems on global
+        masks; building them per subproblem would be O(m) each, so the
+        view is materialised once per (process, packing) and cached.
+        The degeneracy packing reuses the decomposition's
+        already-computed peel order instead of peeling again.
+        """
+        from repro.graph.bitadj import (
+            DEFAULT_BIT_ORDER,
+            BitGraph,
+            resolve_bit_order,
+        )
+
+        bit_order = options.get("bit_order")
+        if bit_order is None:
+            bit_order = DEFAULT_BIT_ORDER
+        if not isinstance(bit_order, str):
+            # Explicit permutations are unbounded in number (a long-running
+            # service would otherwise accumulate one O(n^2)-bit view per
+            # distinct client-supplied permutation, forever), so they are
+            # built per call instead of cached; only the named orders — a
+            # closed set — are worth retaining.
+            return BitGraph.from_graph(self.graph, order=list(bit_order))
+        bg = self.bit_graphs.get(bit_order)
+        if bg is None:
+            order = resolve_bit_order(
+                self.graph, bit_order, degeneracy_order=self.order,
+            )
+            bg = BitGraph.from_graph(self.graph, order=order)
+            self.bit_graphs[bit_order] = bg
+        return bg
+
+
+@dataclass(frozen=True)
+class RequestConfig:
+    """The light per-request knobs shipped with every chunk task."""
+
     algorithm: str
     options: dict
     mode: str  # "collect" or "count"
     x_aware: bool = True
-    _bit_graph: object = None  # lazily built whole-graph bitmask view
-
-    def bit_graph(self):
-        """Whole-graph :class:`BitGraph`, built once per process.
-
-        The X-aware in-place path runs bitset subproblems on global
-        masks; building them per subproblem would be O(m) each, so each
-        worker (or the inline runner) materialises the view once.  The
-        view honours the run's ``bit_order`` option (degeneracy packing
-        by default), reusing the decomposition's already-computed peel
-        order, so every subproblem inherits the packing for free.
-        """
-        if self._bit_graph is None:
-            from repro.graph.bitadj import (
-                DEFAULT_BIT_ORDER,
-                BitGraph,
-                resolve_bit_order,
-            )
-
-            bit_order = self.options.get("bit_order")
-            if bit_order is None:
-                bit_order = DEFAULT_BIT_ORDER
-            order = resolve_bit_order(
-                self.graph, bit_order, degeneracy_order=self.order,
-            )
-            self._bit_graph = BitGraph.from_graph(self.graph, order=order)
-        return self._bit_graph
 
 
 @dataclass
@@ -151,23 +185,26 @@ def parse_jobs(text: str) -> int:
     return value
 
 
-def _solve_chunk(state: WorkerState, chunk: Chunk) -> ChunkResult:
+def _solve_chunk(
+    graph_state: GraphState, config: RequestConfig, chunk: Chunk
+) -> ChunkResult:
     """Run every subproblem of one chunk; shared by workers and inline mode."""
     cpu_start = time.process_time()
     items: list[tuple[int, object]] = []
     counters = Counters()
-    g, position, order = state.graph, state.position, state.order
-    bit_graph = state.bit_graph() \
-        if state.x_aware and state.options.get("backend") == "bitset" \
-        and uses_in_place_phase(state.algorithm, state.options) else None
+    g = graph_state.graph
+    position, order = graph_state.position, graph_state.order
+    bit_graph = graph_state.bit_graph(config.options) \
+        if config.x_aware and config.options.get("backend") == "bitset" \
+        and uses_in_place_phase(config.algorithm, config.options) else None
     for p in chunk.positions:
         cliques, sub_counters, _ = solve_subproblem(
             g, position, order[p],
-            algorithm=state.algorithm, options=state.options,
-            x_aware=state.x_aware, bit_graph=bit_graph,
+            algorithm=config.algorithm, options=config.options,
+            x_aware=config.x_aware, bit_graph=bit_graph,
         )
         counters.merge(sub_counters)
-        payload = count_payload(cliques) if state.mode == "count" else cliques
+        payload = count_payload(cliques) if config.mode == "count" else cliques
         items.append((p, payload))
     return ChunkResult(
         chunk_index=chunk.index,
@@ -181,20 +218,53 @@ def _solve_chunk(state: WorkerState, chunk: Chunk) -> ChunkResult:
 # Worker-process plumbing
 # ---------------------------------------------------------------------------
 
-_WORKER_STATE: WorkerState | None = None
+#: Per-process graph cache: key -> GraphState.  Survives across tasks, so
+#: a warm pool pays the ship cost once per (worker, graph), not per request.
+_WORKER_GRAPHS: dict[str, GraphState] = {}
+
+_WORKER_BARRIER = None
 
 
-def _init_worker(state: WorkerState) -> None:
-    """Pool initializer (spawn path): receive the state once per worker."""
-    global _WORKER_STATE
-    _WORKER_STATE = state
+def _init_worker(barrier, states: dict[str, GraphState]) -> None:
+    """Pool initializer: install the broadcast barrier and known graphs.
+
+    ``states`` is the parent pool's *live* registry of every shipped
+    graph.  Under ``fork`` it arrives through the process snapshot (zero
+    pickling); under ``spawn`` it is pickled once per worker — exactly
+    the cost profile of the previous one-shot design.  Because
+    ``multiprocessing.Pool`` re-runs the initializer with the same
+    arguments whenever it replaces a dead worker, a respawned worker
+    recovers every graph shipped so far (the snapshot/pickle happens at
+    respawn time, when the parent's dict is current) instead of crashing
+    the next chunk routed to it.
+    """
+    global _WORKER_BARRIER
+    _WORKER_BARRIER = barrier
+    _WORKER_GRAPHS.clear()
+    _WORKER_GRAPHS.update(states)
 
 
-def _run_chunk(chunk: Chunk) -> ChunkResult:
-    """Pool task: resolve the per-process state and solve the chunk."""
-    if _WORKER_STATE is None:  # pragma: no cover - defensive
-        raise RuntimeError("worker state was never initialised")
-    return _solve_chunk(_WORKER_STATE, chunk)
+def _install_graph(task) -> str:
+    """Broadcast task: cache one graph state, then rendezvous.
+
+    The barrier (sized to the pool) guarantees each worker executes exactly
+    one install per broadcast — a worker that grabbed its copy blocks until
+    every other worker has grabbed one too, so none can steal a second.
+    """
+    key, graph_state = task
+    _WORKER_GRAPHS[key] = graph_state
+    if _WORKER_BARRIER is not None:
+        _WORKER_BARRIER.wait()
+    return key
+
+
+def _run_chunk(task) -> ChunkResult:
+    """Pool task: resolve the cached graph state and solve the chunk."""
+    key, config, chunk = task
+    graph_state = _WORKER_GRAPHS.get(key)
+    if graph_state is None:  # pragma: no cover - defensive
+        raise RuntimeError(f"worker never received graph state {key!r}")
+    return _solve_chunk(graph_state, config, chunk)
 
 
 def _pool_context():
@@ -204,18 +274,157 @@ def _pool_context():
     return multiprocessing.get_context(method), method
 
 
-def _validate_algorithm_options(algorithm: str, options: dict) -> None:
+class WorkerPool:
+    """A reusable worker pool: create once, ``submit()`` many, ``close()``.
+
+    The pool is lazy — worker processes spin up on the first submit that
+    needs them — and sticky: once live, every later submit reuses the same
+    processes, and graph states already shipped (tracked per key) are
+    never re-sent.  ``warm=True`` sizes the pool at ``n_jobs`` regardless
+    of the first request's chunk count and routes even single-chunk
+    requests through the live pool (the service profile); ``warm=False``
+    keeps the one-shot economics — pool sized to the work, single-chunk
+    runs solved inline (the :func:`run_parallel` profile).
+
+    Observability for the service layer: :attr:`spinups` counts
+    ``multiprocessing`` pool creations (0 or 1 over a pool's life) and
+    :attr:`graph_ships` counts graph-state broadcasts to a live pool —
+    both flat across warm repeat requests.
+    """
+
+    def __init__(
+        self,
+        n_jobs: int,
+        *,
+        warm: bool = False,
+        preload: tuple[str, GraphState] | None = None,
+    ) -> None:
+        self.n_jobs = validate_n_jobs(n_jobs)
+        self.warm = warm
+        self._pool = None
+        self._workers = 0
+        # Every graph state the workers are expected to hold, by key.
+        # This exact dict object is the pool initializer's argument, so
+        # respawned workers re-read it (fork snapshot / fresh pickle) and
+        # recover all states shipped up to that moment.
+        self._states: dict[str, GraphState] = {}
+        if preload is not None:
+            key, graph_state = preload
+            self._states[key] = graph_state
+        self._closed = False
+        self.start_method = "inline"
+        self.spinups = 0
+        self.graph_ships = 0
+
+    @property
+    def is_live(self) -> bool:
+        """Whether worker processes currently exist."""
+        return self._pool is not None
+
+    def _ensure_pool(self, n_chunks: int):
+        if self._pool is not None:
+            return self._pool
+        ctx, method = _pool_context()
+        workers = self.n_jobs if self.warm else min(self.n_jobs, n_chunks)
+        barrier = ctx.Barrier(workers)
+        self._pool = ctx.Pool(
+            processes=workers,
+            initializer=_init_worker,
+            initargs=(barrier, self._states),
+        )
+        self._workers = workers
+        self.start_method = method
+        self.spinups += 1
+        return self._pool
+
+    def submit(
+        self,
+        key: str,
+        graph_state: GraphState,
+        config: RequestConfig,
+        chunks: list[Chunk],
+        accept,
+    ) -> None:
+        """Solve ``chunks`` against ``graph_state``, streaming results.
+
+        ``accept`` is called with each :class:`ChunkResult` in arrival
+        order (an :class:`repro.parallel.aggregate.Aggregator` re-orders).
+        ``key`` identifies the graph state for the worker-side cache: the
+        state is shipped only the first time a key is seen, so repeat
+        submits with the same key are pure compute.
+        """
+        if self._closed:
+            raise RuntimeError("WorkerPool is closed")
+        if not chunks:
+            return
+        if self.n_jobs == 1 \
+                or (self._pool is None and not self.warm and len(chunks) == 1):
+            # In-process path: no subprocesses, no shipping, same pipeline.
+            for chunk in chunks:
+                accept(_solve_chunk(graph_state, config, chunk))
+            return
+        pool = self._ensure_pool(len(chunks))
+        if key not in self._states:
+            # Barrier broadcast to the live workers: exactly one install
+            # per worker.  Recording the state afterwards keeps any
+            # later-respawned worker consistent (see _init_worker).
+            pool.map(_install_graph, [(key, graph_state)] * self._workers,
+                     chunksize=1)
+            self._states[key] = graph_state
+            self.graph_ships += 1
+        tasks = [(key, config, chunk) for chunk in chunks]
+        for result in pool.imap_unordered(_run_chunk, tasks):
+            accept(result)
+
+    def close(self) -> None:
+        """Shut the workers down; idempotent, pool unusable afterwards."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+        self._closed = True
+
+    def __enter__(self) -> "WorkerPool":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def validate_parallel_options(g: Graph, algorithm: str, options: dict) -> None:
     """Fail fast in the parent, before any worker is spawned.
 
     A dry run on the empty graph exercises the registry lookup and every
     boundary validator (``et_threshold``, ``backend``, ...) in
     microseconds, so bad options surface as one clean
     :class:`InvalidParameterError` instead of a pickled worker traceback.
+
+    An explicit ``bit_order`` permutation is the one knob whose validity
+    is bound to the *actual* graph (it must permute ``range(g.n)``), so it
+    is shape-checked against ``g`` here and replaced by a named order for
+    the dry run — binding it to the empty dry-run graph would spuriously
+    reject every valid permutation.
     """
     from repro.api import enumerate_to_sink  # deferred: api imports us lazily
 
+    dry_options = options
+    bit_order = options.get("bit_order")
+    if bit_order is not None and not isinstance(bit_order, str):
+        try:
+            permutation = sorted(bit_order)
+        except TypeError:
+            raise InvalidParameterError(
+                f"bit_order must be a named order or a vertex permutation, "
+                f"got {bit_order!r}"
+            ) from None
+        if permutation != list(range(g.n)):
+            raise InvalidParameterError(
+                "bit_order must be a permutation of the vertex ids "
+                f"0..{g.n - 1}"
+            )
+        dry_options = {**options, "bit_order": "input"}
     enumerate_to_sink(Graph(0), lambda clique: None,
-                      algorithm=algorithm, **options)
+                      algorithm=algorithm, **dry_options)
 
 
 def run_parallel(
@@ -231,7 +440,7 @@ def run_parallel(
     stats: ParallelStats | None = None,
     **options,
 ) -> Counters:
-    """Enumerate ``g``'s maximal cliques across a worker pool.
+    """Enumerate ``g``'s maximal cliques across a one-shot worker pool.
 
     The root level is partitioned per-vertex in degeneracy order, packed
     into ``n_jobs * chunks_per_worker`` cost-balanced chunks, and solved by
@@ -239,6 +448,12 @@ def run_parallel(
     subproblems.  Results stream into ``aggregator`` with a deterministic
     merge; the returned :class:`Counters` sum the per-worker counters
     (``emitted`` equals the true clique count).
+
+    This is a thin wrapper over :class:`WorkerPool` — one pool per call,
+    torn down before returning.  Long-running callers that issue many
+    requests should hold a warm :class:`WorkerPool` (or use
+    :class:`repro.service.CliqueService`, which also caches the per-graph
+    decomposition artifacts) instead of paying the spin-up every time.
 
     ``x_aware=True`` (the default) seeds each subproblem's exclusion set
     from the degeneracy order so duplicated branches are pruned inside the
@@ -262,7 +477,7 @@ def run_parallel(
         raise InvalidParameterError(
             f"chunks_per_worker must be a positive integer, got {chunks_per_worker!r}"
         )
-    _validate_algorithm_options(algorithm, options)
+    validate_parallel_options(g, algorithm, options)
 
     decomposition = decompose(g, cost_model=cost_model)
     chunks = make_chunks(
@@ -271,10 +486,12 @@ def run_parallel(
         strategy=chunk_strategy,
     )
 
-    state = WorkerState(
+    graph_state = GraphState(
         graph=g,
         order=decomposition.order,
         position=decomposition.position,
+    )
+    config = RequestConfig(
         algorithm=algorithm,
         options=options,
         mode=aggregator.mode,
@@ -282,31 +499,12 @@ def run_parallel(
     )
 
     aggregator.start(len(decomposition.subproblems))
-    start_method = "inline"
-    if not chunks:
-        pass  # empty graph: nothing to do
-    elif n_jobs == 1 or len(chunks) == 1:
-        for chunk in chunks:
-            aggregator.accept(_solve_chunk(state, chunk))
-    else:
-        ctx, start_method = _pool_context()
-        workers = min(n_jobs, len(chunks))
-        if start_method == "fork":
-            # Children inherit the state through the fork snapshot: the
-            # graph is never pickled, tasks stay a few bytes each.
-            global _WORKER_STATE
-            _WORKER_STATE = state
-            try:
-                with ctx.Pool(processes=workers) as pool:
-                    for result in pool.imap_unordered(_run_chunk, chunks):
-                        aggregator.accept(result)
-            finally:
-                _WORKER_STATE = None
-        else:
-            with ctx.Pool(processes=workers, initializer=_init_worker,
-                          initargs=(state,)) as pool:
-                for result in pool.imap_unordered(_run_chunk, chunks):
-                    aggregator.accept(result)
+    key = "oneshot"
+    pool = WorkerPool(n_jobs, preload=(key, graph_state))
+    try:
+        pool.submit(key, graph_state, config, chunks, aggregator.accept)
+    finally:
+        pool.close()
 
     if stats is not None:
         stats.n_jobs = n_jobs
@@ -315,7 +513,7 @@ def run_parallel(
         stats.chunk_strategy = chunk_strategy
         stats.cost_model = cost_model
         stats.x_aware = x_aware
-        stats.start_method = start_method
+        stats.start_method = pool.start_method
         stats.decompose_seconds = decomposition.seconds
         stats.balance_ratio = balance_ratio(chunks)
         stats.chunk_costs = [c.cost for c in chunks]

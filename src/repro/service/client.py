@@ -1,0 +1,127 @@
+"""Client helper for the TCP service transport.
+
+A tiny synchronous line-protocol client: connect, send one JSON object
+per line, read one JSON object back.  Raises :class:`ServiceError` when
+the server answers ``ok: false``, so callers get Python exceptions
+instead of sentinel dicts::
+
+    with CliqueService(n_jobs=2) as service:
+        ...  # or connect to a `repro-mce serve --port` process
+    client = ServiceClient(port=port)
+    client.register_dataset("WE")
+    first = client.count("WE")
+    again = client.count("WE")
+    assert again["warm"]
+    client.shutdown()
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+
+from repro.exceptions import ReproError
+
+
+class ServiceError(ReproError):
+    """The server rejected a request (``ok: false`` response)."""
+
+
+class ServiceClient:
+    """Synchronous JSON-lines client for ``repro-mce serve --port``."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 0,
+                 *, timeout: float = 30.0) -> None:
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._reader = self._sock.makefile("r", encoding="utf-8")
+        self._writer = self._sock.makefile("w", encoding="utf-8")
+        self._next_id = 0
+
+    # ------------------------------------------------------------------
+    # Core round trip
+    # ------------------------------------------------------------------
+    def request(self, payload: dict) -> dict:
+        """Send one request object, return the decoded response payload.
+
+        Raises :class:`ServiceError` on ``ok: false`` and on transport
+        loss (server gone mid-request).
+        """
+        self._next_id += 1
+        payload = {**payload, "id": self._next_id}
+        self._writer.write(json.dumps(payload) + "\n")
+        self._writer.flush()
+        line = self._reader.readline()
+        if not line:
+            raise ServiceError("server closed the connection")
+        response = json.loads(line)
+        if not response.get("ok"):
+            raise ServiceError(response.get("error", "unknown server error"))
+        return response
+
+    # ------------------------------------------------------------------
+    # Convenience wrappers (mirror the CliqueService surface)
+    # ------------------------------------------------------------------
+    def ping(self) -> dict:
+        return self.request({"op": "ping"})
+
+    def register_file(self, path, *, fmt: str | None = None,
+                      name: str | None = None) -> dict:
+        payload = {"op": "register", "path": str(path)}
+        if fmt is not None:
+            payload["format"] = fmt
+        if name is not None:
+            payload["name"] = name
+        return self.request(payload)
+
+    def register_dataset(self, code: str, *, name: str | None = None) -> dict:
+        payload = {"op": "register", "dataset": code}
+        if name is not None:
+            payload["name"] = name
+        return self.request(payload)
+
+    def register_edges(self, n: int, edges, *, name: str | None = None) -> dict:
+        payload = {"op": "register", "n": n,
+                   "edges": [list(e) for e in edges]}
+        if name is not None:
+            payload["name"] = name
+        return self.request(payload)
+
+    def count(self, graph: str, **options) -> dict:
+        return self.request({"op": "count", "graph": graph, **options})
+
+    def enumerate(self, graph: str, *, limit: int | None = None,
+                  **options) -> dict:
+        payload = {"op": "enumerate", "graph": graph, **options}
+        if limit is not None:
+            payload["limit"] = limit
+        return self.request(payload)
+
+    def fingerprint(self, graph: str, **options) -> dict:
+        return self.request({"op": "fingerprint", "graph": graph, **options})
+
+    def graphs(self) -> list[dict]:
+        return self.request({"op": "graphs"})["graphs"]
+
+    def stats(self) -> dict:
+        return self.request({"op": "stats"})["stats"]
+
+    def shutdown(self) -> dict:
+        return self.request({"op": "shutdown"})
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        for resource in (self._reader, self._writer, self._sock):
+            try:
+                resource.close()
+            except OSError:  # pragma: no cover - best-effort teardown
+                pass
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

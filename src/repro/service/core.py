@@ -1,0 +1,268 @@
+"""The warm-pool enumeration service.
+
+:class:`CliqueService` is the long-running counterpart of the one-shot
+API: it owns a :class:`repro.parallel.pool.WorkerPool` that outlives any
+single request and a :class:`repro.service.registry.GraphRegistry` that
+caches every per-graph prologue artifact (degeneracy decomposition, cost
+model, chunk packing, degeneracy-packed bitmask view).  The first request
+against a graph pays the prologue and ships the graph state to the
+workers once; every later request — any registered algorithm, backend or
+bit order — is pure enumeration compute.
+
+Thread safety: one internal lock serialises requests, so a service
+instance can sit behind a threaded TCP server
+(:mod:`repro.service.server`) without interleaving pool traffic.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+from repro.api import DEFAULT_ALGORITHM
+from repro.exceptions import InvalidParameterError
+from repro.graph.adjacency import Graph
+from repro.graph.generators import load_dataset
+from repro.graph.io import load_graph
+from repro.parallel.aggregate import CollectAggregator, CountAggregator
+from repro.parallel.decompose import DEFAULT_COST_MODEL
+from repro.parallel.pool import (
+    RequestConfig,
+    WorkerPool,
+    validate_n_jobs,
+    validate_parallel_options,
+)
+from repro.parallel.scheduler import DEFAULT_CHUNK_STRATEGY
+from repro.service.registry import GraphRegistry
+from repro.verify import clique_fingerprint
+
+
+class CliqueService:
+    """Long-lived enumeration service over a warm pool and artifact cache.
+
+    Usage::
+
+        with CliqueService(n_jobs=4) as service:
+            info = service.register(g, name="web")
+            cold = service.count("web")                 # pays the prologue
+            warm = service.count("web", backend="bitset")  # pure compute
+            assert warm["warm"] and not cold["warm"]
+
+    Every request accepts any registered algorithm plus the
+    branch-and-bound knobs (``backend=``, ``bit_order=``,
+    ``et_threshold=``, ...) — the cached artifacts are knob-independent,
+    so switching algorithms between requests stays warm.
+    """
+
+    def __init__(
+        self,
+        *,
+        n_jobs: int = 1,
+        chunk_strategy: str = DEFAULT_CHUNK_STRATEGY,
+        cost_model: str = DEFAULT_COST_MODEL,
+        chunks_per_worker: int = 1,
+    ) -> None:
+        self.n_jobs = validate_n_jobs(n_jobs)
+        if isinstance(chunks_per_worker, bool) \
+                or not isinstance(chunks_per_worker, int) \
+                or chunks_per_worker < 1:
+            raise InvalidParameterError(
+                f"chunks_per_worker must be a positive integer, "
+                f"got {chunks_per_worker!r}"
+            )
+        self.chunk_strategy = chunk_strategy
+        self.cost_model = cost_model
+        self.chunks_per_worker = chunks_per_worker
+        self.registry = GraphRegistry()
+        self._pool = WorkerPool(self.n_jobs, warm=True)
+        self._lock = threading.RLock()
+        self._closed = False
+        self._started_at = time.time()
+        self._requests = 0
+        self._warm_requests = 0
+        self._requests_by_op: dict[str, int] = {}
+
+    # ------------------------------------------------------------------
+    # Registration
+    # ------------------------------------------------------------------
+    def register(self, g: Graph, *, name: str | None = None) -> dict:
+        """Register a graph object; returns its entry info (idempotent)."""
+        with self._lock:
+            self._check_open()
+            before = len(self.registry)
+            entry = self.registry.register(g, name=name)
+            info = entry.info()
+            info["new"] = len(self.registry) > before
+            return info
+
+    def register_file(self, path, *, fmt: str | None = None,
+                      name: str | None = None) -> dict:
+        """Load a graph file (any supported format) and register it."""
+        from pathlib import Path
+
+        g = load_graph(path, fmt=fmt)
+        return self.register(g, name=name or Path(path).stem)
+
+    def register_dataset(self, code: str, *, name: str | None = None) -> dict:
+        """Register one of the bundled proxy datasets under its code."""
+        return self.register(load_dataset(code), name=name or code)
+
+    def graphs(self) -> list[dict]:
+        """Info for every registered graph, oldest first."""
+        with self._lock:
+            return [entry.info() for entry in self.registry.entries()]
+
+    # ------------------------------------------------------------------
+    # Requests
+    # ------------------------------------------------------------------
+    def count(self, graph: str, *, algorithm: str = DEFAULT_ALGORITHM,
+              x_aware: bool = True, **options) -> dict:
+        """Count the maximal cliques of a registered graph."""
+        aggregator = CountAggregator()
+        result = self._execute("count", graph, aggregator, algorithm,
+                               x_aware, options)
+        result["count"] = aggregator.finish()
+        result["max_clique_size"] = aggregator.max_size
+        return result
+
+    def enumerate(self, graph: str, *, algorithm: str = DEFAULT_ALGORITHM,
+                  limit: int | None = None, x_aware: bool = True,
+                  **options) -> dict:
+        """Enumerate the maximal cliques of a registered graph.
+
+        ``limit`` truncates the returned list (the enumeration itself is
+        complete, so ``count`` is always the true total); negative limits
+        are rejected — a silent ``[:-k]`` would drop cliques from the end.
+        """
+        if limit is not None:
+            if isinstance(limit, bool) or not isinstance(limit, int) \
+                    or limit < 0:
+                raise InvalidParameterError(
+                    f"limit must be a non-negative integer, got {limit!r}"
+                )
+        aggregator = CollectAggregator()
+        result = self._execute("enumerate", graph, aggregator, algorithm,
+                               x_aware, options)
+        cliques = aggregator.finish()
+        result["count"] = len(cliques)
+        shown = cliques if limit is None else cliques[:limit]
+        result["cliques"] = [list(c) for c in shown]
+        result["truncated"] = len(shown) < len(cliques)
+        return result
+
+    def fingerprint(self, graph: str, *, algorithm: str = DEFAULT_ALGORITHM,
+                    x_aware: bool = True, **options) -> dict:
+        """SHA256 fingerprint of the canonical clique list.
+
+        Byte-identical to ``clique_fingerprint(maximal_cliques(g, ...))``
+        on the direct path — the golden-oracle check, served warm.
+        """
+        aggregator = CollectAggregator()
+        result = self._execute("fingerprint", graph, aggregator, algorithm,
+                               x_aware, options)
+        cliques = aggregator.finish()
+        result["count"] = len(cliques)
+        result["sha256"] = clique_fingerprint(cliques)
+        return result
+
+    def _execute(self, op: str, graph: str, aggregator, algorithm: str,
+                 x_aware, options: dict) -> dict:
+        with self._lock:
+            self._check_open()
+            if not isinstance(x_aware, bool):
+                raise InvalidParameterError(
+                    f"x_aware must be a bool, got {x_aware!r}"
+                )
+            if "initial_x" in options:
+                raise InvalidParameterError(
+                    "initial_x cannot be combined with the service path; "
+                    "the decomposition seeds it per subproblem"
+                )
+            entry = self.registry.resolve(graph)
+            validate_parallel_options(entry.graph, algorithm, options)
+
+            spinups = self._pool.spinups
+            ships = self._pool.graph_ships
+            decomposes = self.registry.stats.decompose_calls
+
+            start = time.perf_counter()
+            decomposition = self.registry.decomposition(entry, self.cost_model)
+            chunks = self.registry.chunks(
+                entry, self.cost_model, self.chunk_strategy,
+                self.n_jobs * self.chunks_per_worker,
+            )
+            config = RequestConfig(
+                algorithm=algorithm, options=options,
+                mode=aggregator.mode, x_aware=x_aware,
+            )
+            aggregator.start(len(decomposition.subproblems))
+            self._pool.submit(entry.fingerprint, entry.graph_state, config,
+                              chunks, aggregator.accept)
+            seconds = time.perf_counter() - start
+
+            warm = (self._pool.spinups == spinups
+                    and self._pool.graph_ships == ships
+                    and self.registry.stats.decompose_calls == decomposes)
+            self._requests += 1
+            if warm:
+                self._warm_requests += 1
+            self._requests_by_op[op] = self._requests_by_op.get(op, 0) + 1
+            return {
+                "graph": entry.fingerprint,
+                "name": entry.name,
+                "algorithm": algorithm,
+                "n_jobs": self.n_jobs,
+                "seconds": seconds,
+                "warm": warm,
+            }
+
+    # ------------------------------------------------------------------
+    # Observability / lifecycle
+    # ------------------------------------------------------------------
+    def stats(self) -> dict:
+        """Service-level counters: the warm-path audit trail.
+
+        A fully warm steady state shows ``requests`` growing while
+        ``decompose_calls``, ``pool_spinups`` and ``graph_ships`` stay
+        flat — exactly the assertion the service tests make.
+        """
+        with self._lock:
+            reg = self.registry.stats
+            return {
+                "uptime_seconds": time.time() - self._started_at,
+                "requests": self._requests,
+                "requests_by_op": dict(self._requests_by_op),
+                "warm_requests": self._warm_requests,
+                "graphs_registered": len(self.registry),
+                "decompose_calls": reg.decompose_calls,
+                "decompose_cache_hits": reg.decompose_cache_hits,
+                "chunk_builds": reg.chunk_builds,
+                "chunk_cache_hits": reg.chunk_cache_hits,
+                "pool_spinups": self._pool.spinups,
+                "graph_ships": self._pool.graph_ships,
+                "pool_live": self._pool.is_live,
+                "start_method": self._pool.start_method,
+                "n_jobs": self.n_jobs,
+                "chunk_strategy": self.chunk_strategy,
+                "cost_model": self.cost_model,
+            }
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Tear the worker pool down; idempotent."""
+        with self._lock:
+            self._pool.close()
+            self._closed = True
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise InvalidParameterError("service is closed")
+
+    def __enter__(self) -> "CliqueService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

@@ -1,0 +1,81 @@
+"""Transports for the JSON-lines service protocol: stdio pipe and TCP.
+
+Both transports delegate every request to
+:func:`repro.service.protocol.handle_line`; the service's internal lock
+serialises pool access, so the TCP server can thread per connection
+without interleaving enumeration work.
+
+``repro-mce serve`` (see :mod:`repro.cli`) wraps these for the command
+line; tests drive them directly with in-memory streams and ephemeral
+ports.
+"""
+
+from __future__ import annotations
+
+import socketserver
+import sys
+
+from repro.service.protocol import handle_line
+
+
+def serve_stdio(service, stdin=None, stdout=None) -> int:
+    """Serve requests line-by-line from a pipe until EOF or ``shutdown``.
+
+    Each response is written and flushed immediately, so a co-process
+    driving the pipe sees strict request/response alternation.
+    """
+    stdin = stdin if stdin is not None else sys.stdin
+    stdout = stdout if stdout is not None else sys.stdout
+    for line in stdin:
+        if not line.strip():
+            continue
+        response, shutdown = handle_line(service, line)
+        stdout.write(response + "\n")
+        stdout.flush()
+        if shutdown:
+            break
+    return 0
+
+
+class _LineHandler(socketserver.StreamRequestHandler):
+    """One TCP connection: newline-delimited requests until close."""
+
+    def handle(self) -> None:
+        for raw in self.rfile:
+            line = raw.decode("utf-8", errors="replace")
+            if not line.strip():
+                continue
+            response, shutdown = handle_line(self.server.service, line)
+            self.wfile.write(response.encode("utf-8") + b"\n")
+            self.wfile.flush()
+            if shutdown:
+                # shutdown() is safe here: handlers run on their own
+                # thread, never the one inside serve_forever().
+                self.server.shutdown()
+                break
+
+
+class ServiceTCPServer(socketserver.ThreadingTCPServer):
+    """Threaded line-protocol server bound to a :class:`CliqueService`."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, address, service):
+        super().__init__(address, _LineHandler)
+        self.service = service
+
+
+def serve_tcp(service, host: str = "127.0.0.1", port: int = 0,
+              *, ready=None) -> int:
+    """Serve over TCP until a ``shutdown`` request arrives.
+
+    ``port=0`` binds an ephemeral port; ``ready`` (if given) is called
+    with the actual ``(host, port)`` once the socket is listening — the
+    hook the round-trip tests and the CLI's "listening on" banner use.
+    """
+    with ServiceTCPServer((host, port), service) as server:
+        if ready is not None:
+            ready(server.server_address)
+        server.serve_forever(poll_interval=0.05)
+    return 0

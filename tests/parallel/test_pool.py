@@ -10,11 +10,16 @@ from repro.graph.generators import erdos_renyi_gnm
 from repro.parallel import (
     CollectAggregator,
     CountAggregator,
+    GraphState,
     ParallelStats,
+    RequestConfig,
+    WorkerPool,
     parse_jobs,
     run_parallel,
     validate_n_jobs,
 )
+from repro.parallel.decompose import decompose
+from repro.parallel.scheduler import make_chunks
 
 
 @pytest.fixture(scope="module")
@@ -70,6 +75,29 @@ class TestValidation:
             run_parallel(graph, CountAggregator(), algorithm="hbbmc++",
                          n_jobs=2, chunks_per_worker=0)
 
+    def test_explicit_bit_order_permutation_accepted(self, graph, reference):
+        # Regression: the option dry run used to bind the permutation to
+        # its empty dry-run graph, spuriously rejecting every valid one.
+        permutation = list(reversed(range(graph.n)))
+        assert maximal_cliques(graph, n_jobs=2, backend="bitset",
+                               bit_order=permutation) == reference
+
+    def test_invalid_bit_order_permutation_fails_before_pool(self, graph):
+        with pytest.raises(InvalidParameterError):
+            maximal_cliques(graph, n_jobs=2, backend="bitset",
+                            bit_order=[0, 1])  # wrong length
+        with pytest.raises(InvalidParameterError):
+            maximal_cliques(graph, n_jobs=2, backend="bitset",
+                            bit_order=[0] * graph.n)  # not a permutation
+        with pytest.raises(InvalidParameterError):
+            maximal_cliques(graph, n_jobs=2, backend="bitset",
+                            bit_order=["a", "b"])  # not vertex ids
+
+    def test_bit_order_permutation_still_needs_bitset(self, graph):
+        with pytest.raises(InvalidParameterError):
+            maximal_cliques(graph, n_jobs=2, backend="set",
+                            bit_order=list(range(graph.n)))
+
 
 class TestRunParallel:
     def test_counters_account_for_every_clique(self, graph, reference):
@@ -118,6 +146,105 @@ class TestRunParallel:
         assert len(stats.chunk_cpu_seconds) == 2
         assert sum(stats.chunk_sizes) == graph.n
         assert stats.start_method in ("fork", "spawn", "forkserver")
+
+
+def _graph_state(graph):
+    decomposition = decompose(graph)
+    state = GraphState(graph=graph, order=decomposition.order,
+                       position=decomposition.position)
+    return state, decomposition
+
+
+class TestWorkerPool:
+    """The reusable pool: ship once, submit many, close once."""
+
+    def _submit(self, pool, key, state, chunks, mode="count"):
+        config = RequestConfig(algorithm="hbbmc++", options={}, mode=mode)
+        aggregator = CountAggregator()
+        aggregator.start(sum(len(c.positions) for c in chunks))
+        pool.submit(key, state, config, chunks, aggregator.accept)
+        return aggregator.finish()
+
+    def test_warm_pool_ships_each_graph_once(self, graph, reference):
+        state, decomposition = _graph_state(graph)
+        chunks = make_chunks(decomposition.subproblems, 4)
+        with WorkerPool(2, warm=True) as pool:
+            counts = [self._submit(pool, "g", state, chunks)
+                      for _ in range(3)]
+            assert counts == [len(reference)] * 3
+            assert pool.spinups == 1
+            assert pool.graph_ships == 1
+            assert pool.is_live
+
+    def test_second_graph_broadcasts_without_respawn(self, graph):
+        state, decomposition = _graph_state(graph)
+        chunks = make_chunks(decomposition.subproblems, 4)
+        other = erdos_renyi_gnm(20, 60, seed=3)
+        other_state, other_decomposition = _graph_state(other)
+        other_chunks = make_chunks(other_decomposition.subproblems, 4)
+        with WorkerPool(2, warm=True) as pool:
+            self._submit(pool, "a", state, chunks)
+            count = self._submit(pool, "b", other_state, other_chunks)
+            assert count == len(maximal_cliques(other))
+            assert pool.spinups == 1
+            assert pool.graph_ships == 2
+
+    def test_inline_pool_never_spawns(self, graph, reference):
+        state, decomposition = _graph_state(graph)
+        chunks = make_chunks(decomposition.subproblems, 4)
+        with WorkerPool(1, warm=True) as pool:
+            assert self._submit(pool, "g", state, chunks) == len(reference)
+            assert pool.spinups == 0
+            assert not pool.is_live
+            assert pool.start_method == "inline"
+
+    def test_one_shot_single_chunk_stays_inline(self, graph, reference):
+        state, decomposition = _graph_state(graph)
+        chunks = make_chunks(decomposition.subproblems, 1)
+        with WorkerPool(2) as pool:
+            assert self._submit(pool, "g", state, chunks) == len(reference)
+            assert pool.spinups == 0
+
+    def test_empty_chunks_is_a_no_op(self, graph):
+        state, _ = _graph_state(graph)
+        with WorkerPool(2, warm=True) as pool:
+            assert self._submit(pool, "g", state, []) == 0
+            assert pool.spinups == 0
+
+    def test_shipped_states_recorded_for_respawned_workers(self, graph):
+        # The initializer argument is the pool's live state dict: a worker
+        # respawned after a crash re-reads it and recovers every graph
+        # shipped so far, so the dict must track each broadcast.
+        state, decomposition = _graph_state(graph)
+        chunks = make_chunks(decomposition.subproblems, 4)
+        other = erdos_renyi_gnm(20, 60, seed=3)
+        other_state, other_decomposition = _graph_state(other)
+        other_chunks = make_chunks(other_decomposition.subproblems, 4)
+        with WorkerPool(2, warm=True) as pool:
+            self._submit(pool, "a", state, chunks)
+            self._submit(pool, "b", other_state, other_chunks)
+            assert set(pool._states) == {"a", "b"}
+
+    def test_explicit_permutation_views_are_not_cached(self, graph,
+                                                       reference):
+        # A long-running service must not retain one BitGraph per
+        # client-supplied permutation; only named orders are cached.
+        state, _ = _graph_state(graph)
+        permutation = list(reversed(range(graph.n)))
+        state.bit_graph({"backend": "bitset", "bit_order": permutation})
+        state.bit_graph({"backend": "bitset", "bit_order": "degeneracy"})
+        assert list(state.bit_graphs) == ["degeneracy"]
+        assert maximal_cliques(graph, n_jobs=2, backend="bitset",
+                               bit_order=permutation) == reference
+
+    def test_submit_after_close_raises(self, graph):
+        state, decomposition = _graph_state(graph)
+        chunks = make_chunks(decomposition.subproblems, 4)
+        pool = WorkerPool(2, warm=True)
+        pool.close()
+        pool.close()  # idempotent
+        with pytest.raises(RuntimeError):
+            self._submit(pool, "g", state, chunks)
 
 
 class TestApiIntegration:

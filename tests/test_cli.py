@@ -1,5 +1,10 @@
 """Unit tests for the command-line interface."""
 
+import json
+import os
+import subprocess
+import sys
+
 import pytest
 
 from repro.cli import main
@@ -22,7 +27,20 @@ class TestEnumerate:
 
     def test_limit(self, graph_file, capsys):
         assert main(["enumerate", graph_file, "--limit", "0"]) == 0
-        assert capsys.readouterr().out.strip() == ""
+        captured = capsys.readouterr()
+        assert captured.out.strip() == ""
+        # All cliques are hidden, and the arithmetic says so exactly.
+        assert "... (1 more)" in captured.err
+
+    @pytest.mark.parametrize("bad", ["-1", "-5"])
+    def test_negative_limit_exits_2(self, graph_file, bad, capsys):
+        # Regression: cliques[:-k] silently dropped cliques from the end
+        # and the "(N more)" arithmetic over-reported.
+        assert main(["enumerate", graph_file, "--limit", bad]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "--limit" in err
+        assert len(err.strip().splitlines()) == 1
 
     def test_dataset_option(self, capsys):
         assert main(["count", "--dataset", "WE", "-a", "rdegen"]) == 0
@@ -31,6 +49,22 @@ class TestEnumerate:
     def test_missing_input_errors(self):
         with pytest.raises(SystemExit):
             main(["enumerate"])
+
+    def test_graph_file_plus_dataset_exits_2(self, graph_file, capsys):
+        # Regression: the file used to be silently ignored under --dataset.
+        assert main(["count", graph_file, "--dataset", "WE"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "--dataset" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_format_plus_dataset_exits_2(self, capsys):
+        # Regression: --format used to be silently ignored under --dataset.
+        assert main(["count", "--dataset", "WE", "--format", "json"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "--format" in err
+        assert len(err.strip().splitlines()) == 1
 
 
 class TestCount:
@@ -182,3 +216,61 @@ class TestVerify:
     def test_verify_ok(self, graph_file, capsys):
         assert main(["verify", graph_file]) == 0
         assert "OK" in capsys.readouterr().out
+
+
+class TestServe:
+    """The serve subcommand: a real subprocess round trip over stdio."""
+
+    def test_serve_round_trip(self, graph_file):
+        env = dict(os.environ)
+        src = os.path.join(os.path.dirname(os.path.dirname(
+            os.path.abspath(__file__))), "src")
+        env["PYTHONPATH"] = src + os.pathsep + env.get("PYTHONPATH", "")
+        requests = [
+            {"op": "ping"},
+            {"op": "register", "path": graph_file, "name": "k4"},
+            {"op": "count", "graph": "k4"},
+            {"op": "count", "graph": "k4", "backend": "bitset"},
+            {"op": "enumerate", "graph": "k4"},
+            {"op": "stats"},
+            {"op": "shutdown"},
+        ]
+        payload = "".join(json.dumps(r) + "\n" for r in requests)
+        completed = subprocess.run(
+            [sys.executable, "-m", "repro", "serve"],
+            input=payload, capture_output=True, text=True, env=env,
+            timeout=120,
+        )
+        assert completed.returncode == 0, completed.stderr
+        responses = [json.loads(line)
+                     for line in completed.stdout.splitlines()]
+        assert len(responses) == len(requests)
+        assert all(r["ok"] for r in responses)
+        assert responses[2]["count"] == 1 and not responses[2]["warm"]
+        assert responses[3]["warm"]
+        assert responses[4]["cliques"] == [[0, 1, 2, 3]]
+        assert responses[5]["stats"]["decompose_calls"] == 1
+        assert responses[6]["bye"]
+
+    def test_serve_rejects_format_without_graph(self, capsys):
+        # Same masked-intent class as count/enumerate: --format with no
+        # --graph file to apply it to must not be silently ignored.
+        assert main(["serve", "--dataset", "WE", "--format", "json"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "--format" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_serve_rejects_bad_jobs(self, capsys):
+        assert main(["serve", "--jobs", "zero"]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert "--jobs" in err
+        assert len(err.strip().splitlines()) == 1
+
+    def test_serve_documented_in_help(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve", "--help"])
+        out = capsys.readouterr().out
+        assert "--port" in out
+        assert "--jobs" in out
