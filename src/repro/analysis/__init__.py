@@ -1,0 +1,21 @@
+"""Project linter (``repro-mce lint`` / ``python -m repro.analysis``).
+
+AST-based enforcement of the repo's load-bearing conventions: backend-twin
+parity, bit hot-path purity, knob-threading consistency across API / CLI /
+service / worker layers, and the process-boundary error conventions.  See
+:mod:`repro.analysis.runner` for the driver and the checker modules under
+:mod:`repro.analysis.checkers` for the individual rules.
+"""
+
+from repro.analysis.config import DEFAULT_CONFIG, LintConfig
+from repro.analysis.findings import Finding
+from repro.analysis.runner import execute, main, run_lint
+
+__all__ = [
+    "DEFAULT_CONFIG",
+    "Finding",
+    "LintConfig",
+    "execute",
+    "main",
+    "run_lint",
+]

@@ -1,0 +1,79 @@
+"""Committed baseline of accepted findings.
+
+The baseline lets a finding be *acknowledged* without being fixed in the
+same commit: ``repro-mce lint`` exits 0 while the tree's findings match
+the committed file, nonzero the moment something new appears — and also
+when a baselined finding disappears (stale entries must be pruned, so the
+file never rots into an allow-list of fixed problems).
+
+Identity is :attr:`repro.analysis.findings.Finding.key` — file, checker
+and message, *not* the line number — counted with multiplicity, so two
+identical findings in one file need two baseline entries.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+
+from repro.analysis.findings import Finding, FindingKey
+
+BASELINE_VERSION = 1
+
+
+class BaselineError(ValueError):
+    """The baseline file exists but cannot be used."""
+
+
+def load_baseline(path: Path) -> Counter[FindingKey]:
+    """The accepted finding keys (with multiplicity); empty if no file."""
+    if not path.exists():
+        return Counter()
+    try:
+        data = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise BaselineError(f"{path}: not valid JSON ({exc})") from exc
+    if not isinstance(data, dict) \
+            or data.get("version") != BASELINE_VERSION \
+            or not isinstance(data.get("findings"), list):
+        raise BaselineError(
+            f"{path}: expected {{'version': {BASELINE_VERSION}, "
+            "'findings': [...]}}"
+        )
+    keys: Counter[FindingKey] = Counter()
+    for entry in data["findings"]:
+        try:
+            keys[(entry["file"], entry["checker"], entry["message"])] += 1
+        except (TypeError, KeyError) as exc:
+            raise BaselineError(
+                f"{path}: malformed finding entry {entry!r}"
+            ) from exc
+    return keys
+
+
+def save_baseline(path: Path, findings: list[Finding]) -> None:
+    """Write the current findings as the new accepted baseline."""
+    entries = [
+        {"file": f.rel, "checker": f.checker, "message": f.message}
+        for f in sorted(findings)
+    ]
+    payload = {"version": BASELINE_VERSION, "findings": entries}
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def partition(
+    findings: list[Finding], baseline: Counter[FindingKey]
+) -> tuple[list[Finding], list[Finding], list[FindingKey]]:
+    """Split findings into ``(new, baselined)`` plus stale baseline keys."""
+    remaining = Counter(baseline)
+    new: list[Finding] = []
+    accepted: list[Finding] = []
+    for finding in sorted(findings):
+        if remaining[finding.key] > 0:
+            remaining[finding.key] -= 1
+            accepted.append(finding)
+        else:
+            new.append(finding)
+    stale = sorted(remaining.elements())
+    return new, accepted, stale

@@ -1,0 +1,25 @@
+"""The pluggable checker registry.
+
+A checker is a function ``check(index, config) -> list[Finding]`` plus a
+stable name — the name is what pragmas (``# repro-lint: allow[name]``)
+and finding lines refer to.  Adding a checker means adding a module here
+and one entry to :data:`CHECKERS`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.analysis.checkers import boundaries, knob_drift, parity, purity
+from repro.analysis.config import LintConfig
+from repro.analysis.findings import Finding
+from repro.analysis.index import ModuleIndex
+
+Checker = Callable[[ModuleIndex, LintConfig], "list[Finding]"]
+
+CHECKERS: dict[str, Checker] = {
+    parity.CHECKER: parity.check,
+    purity.CHECKER: purity.check,
+    knob_drift.CHECKER: knob_drift.check,
+    boundaries.CHECKER: boundaries.check,
+}

@@ -1,0 +1,317 @@
+"""Knob-threading drift: the registry versus what the layers actually expose.
+
+For every :class:`repro.analysis.knobs.Knob` the checker verifies the
+declared surface in each layer against the AST of the real module —
+keyword parameters in ``repro.api``, argparse flags in ``repro.cli``,
+``OPTION_FIELDS``/request fields in ``repro.service.protocol``,
+``CliqueService.__init__`` parameters and ``RequestConfig`` fields.  In
+reverse, any knob-shaped thing found in those layers that no registered
+knob claims is flagged, so adding a parameter to one layer without
+updating the registry (and therefore without thinking about the other
+layers) fails the lint.  A deliberately absent layer must carry a note in
+the registry — the documented reason is the drift tracking the issue asks
+for.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.config import LintConfig
+from repro.analysis.findings import Finding
+from repro.analysis.index import ModuleIndex, ModuleInfo
+from repro.analysis.knobs import (
+    API_OPTIONS,
+    API_PARAM,
+    SERVICE_CONSTRUCTOR,
+    SERVICE_OPTION,
+    SERVICE_REQUEST,
+    WORKER_FIELD,
+)
+
+CHECKER = "knobs"
+
+#: request fields that address the request rather than tune it.
+_REQUEST_EXEMPT = frozenset({"op", "id", "graph"})
+
+
+def _string_constants(node: ast.expr) -> list[str] | None:
+    """The string elements of a tuple/list/set literal, or ``None``."""
+    if not isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        return None
+    out = []
+    for elt in node.elts:
+        if not (isinstance(elt, ast.Constant) and isinstance(elt.value, str)):
+            return None
+        out.append(elt.value)
+    return out
+
+
+def _module_assign(info: ModuleInfo, name: str) -> tuple[int, list[str]] | None:
+    """A module-level ``NAME = ("a", "b", ...)`` assignment's line + strings."""
+    for node in info.tree.body:
+        if isinstance(node, ast.Assign):
+            targets = [t.id for t in node.targets if isinstance(t, ast.Name)]
+            if name in targets:
+                values = _string_constants(node.value)
+                if values is not None:
+                    return node.lineno, values
+    return None
+
+
+def _cli_flags(info: ModuleInfo, within: str | None = None) -> dict[str, int]:
+    """Every ``--flag`` passed to an ``add_argument`` call, with its line.
+
+    ``within`` restricts the scan to one function's span (the shared knob
+    surface); ``None`` scans the whole module.
+    """
+    span = None
+    if within is not None:
+        func = info.function(within)
+        if func is None:
+            return {}
+        span = (func.lineno, func.end_lineno)
+    flags: dict[str, int] = {}
+    for node in ast.walk(info.tree):
+        if not (isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "add_argument"):
+            continue
+        if span is not None and not (span[0] <= node.lineno <= span[1]):
+            continue
+        for arg in node.args:
+            if isinstance(arg, ast.Constant) and isinstance(arg.value, str) \
+                    and arg.value.startswith("--"):
+                flags.setdefault(arg.value, node.lineno)
+    return flags
+
+
+def _request_fields(info: ModuleInfo, config: LintConfig) -> set[str]:
+    """Every field accepted by the enumeration request schema."""
+    fields: set[str] = set()
+    assign = _module_assign(info, config.option_fields_name)
+    if assign is not None:
+        fields.update(assign[1])
+    common = _module_assign(info, "_COMMON_FIELDS")
+    if common is not None:
+        fields.update(common[1])
+    options_func = info.function(config.request_options_function)
+    if options_func is not None:
+        # The `allowed = ... | {"graph", ...} | ...` literal inside the
+        # request validator.
+        for node in ast.walk(options_func.node):
+            if isinstance(node, ast.Set):
+                values = _string_constants(node)
+                if values is not None:
+                    fields.update(values)
+    handler = info.function(config.request_handler_function)
+    if handler is not None:
+        # Extra fields passed per-op: _request_options(request, "limit").
+        for node in ast.walk(handler.node):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) \
+                    and node.func.id == config.request_options_function:
+                for arg in node.args[1:]:
+                    if isinstance(arg, ast.Constant) \
+                            and isinstance(arg.value, str):
+                        fields.add(arg.value)
+    return fields
+
+
+def _class_fields(info: ModuleInfo, class_name: str) -> dict[str, int]:
+    """Annotated field names of a (dataclass-style) class body."""
+    for node in info.tree.body:
+        if isinstance(node, ast.ClassDef) and node.name == class_name:
+            return {
+                stmt.target.id: stmt.lineno
+                for stmt in node.body
+                if isinstance(stmt, ast.AnnAssign)
+                and isinstance(stmt.target, ast.Name)
+            }
+    return {}
+
+
+def check(index: ModuleIndex, config: LintConfig) -> list[Finding]:
+    findings: list[Finding] = []
+    knobs = {knob.name: knob for knob in config.knobs}
+
+    api = index.get(config.api_module)
+    cli = index.get(config.cli_module)
+    protocol = index.get(config.protocol_module)
+    service = index.get(config.service_module)
+    pool = index.get(config.pool_module)
+
+    module_flags = _cli_flags(cli) if cli is not None else {}
+    knob_flags = _cli_flags(cli, config.cli_knob_function) \
+        if cli is not None else {}
+    option_assign = _module_assign(protocol, config.option_fields_name) \
+        if protocol is not None else None
+    request_fields = _request_fields(protocol, config) \
+        if protocol is not None else set()
+    init = service.function(f"{config.service_class}.__init__") \
+        if service is not None else None
+    init_params = tuple(p for p in init.params if p != "self") \
+        if init is not None else ()
+    worker_fields = _class_fields(pool, config.request_config_class) \
+        if pool is not None else {}
+
+    # ------------------------------------------------------------------
+    # Forward: every registered knob reaches each declared layer.
+    # ------------------------------------------------------------------
+    for knob in config.knobs:
+        if api is not None:
+            targets = knob.api_functions or config.api_functions
+            if knob.api == API_PARAM:
+                for name in targets:
+                    func = api.function(name)
+                    if func is not None and knob.name not in func.params:
+                        findings.append(Finding(
+                            api.rel, func.lineno, CHECKER,
+                            f"knob '{knob.name}' is declared an api "
+                            f"parameter but '{name}()' does not accept it",
+                        ))
+            elif knob.api == API_OPTIONS:
+                for name in targets:
+                    func = api.function(name)
+                    if func is not None and not func.has_kwargs:
+                        findings.append(Finding(
+                            api.rel, func.lineno, CHECKER,
+                            f"knob '{knob.name}' travels via **options but "
+                            f"'{name}()' accepts no keyword options",
+                        ))
+            elif not knob.notes.get("api"):
+                findings.append(Finding(
+                    api.rel, 1, CHECKER,
+                    f"knob '{knob.name}' has no api surface and no "
+                    "tracking note in the registry",
+                ))
+        if cli is not None:
+            if knob.cli is not None:
+                if knob.cli not in module_flags:
+                    findings.append(Finding(
+                        cli.rel, 1, CHECKER,
+                        f"knob '{knob.name}': flag '{knob.cli}' is not "
+                        f"defined anywhere in {config.cli_module}",
+                    ))
+            elif not knob.notes.get("cli"):
+                findings.append(Finding(
+                    cli.rel, 1, CHECKER,
+                    f"knob '{knob.name}' has no CLI flag and no tracking "
+                    "note in the registry",
+                ))
+        if protocol is not None or service is not None:
+            if knob.service == SERVICE_OPTION and protocol is not None:
+                line, values = option_assign if option_assign else (1, [])
+                if knob.name not in values:
+                    findings.append(Finding(
+                        protocol.rel, line, CHECKER,
+                        f"knob '{knob.name}' is declared a per-request "
+                        f"option but is missing from "
+                        f"{config.option_fields_name}",
+                    ))
+            elif knob.service == SERVICE_REQUEST and protocol is not None:
+                if knob.name not in request_fields:
+                    findings.append(Finding(
+                        protocol.rel, 1, CHECKER,
+                        f"knob '{knob.name}' is declared a request field "
+                        "but the protocol's request schema rejects it",
+                    ))
+            elif knob.service == SERVICE_CONSTRUCTOR and service is not None:
+                if init is not None and knob.name not in init_params:
+                    findings.append(Finding(
+                        service.rel, init.lineno, CHECKER,
+                        f"knob '{knob.name}' is declared a service "
+                        f"constructor parameter but "
+                        f"{config.service_class}.__init__ does not "
+                        "accept it",
+                    ))
+            elif knob.service is None and not knob.notes.get("service") \
+                    and protocol is not None:
+                findings.append(Finding(
+                    protocol.rel, 1, CHECKER,
+                    f"knob '{knob.name}' has no service surface and no "
+                    "tracking note in the registry",
+                ))
+        if pool is not None:
+            if knob.worker == WORKER_FIELD:
+                if knob.name not in worker_fields:
+                    findings.append(Finding(
+                        pool.rel, 1, CHECKER,
+                        f"knob '{knob.name}' is declared a "
+                        f"{config.request_config_class} field but the "
+                        "class does not define it",
+                    ))
+            elif knob.worker is None and not knob.notes.get("worker"):
+                findings.append(Finding(
+                    pool.rel, 1, CHECKER,
+                    f"knob '{knob.name}' has no worker surface and no "
+                    "tracking note in the registry",
+                ))
+
+    # ------------------------------------------------------------------
+    # Reverse: every knob-shaped thing in the layers is registered.
+    # ------------------------------------------------------------------
+    if api is not None:
+        for name in config.api_functions:
+            func = api.function(name)
+            if func is None:
+                continue
+            for arg in func.node.args.kwonlyargs:
+                knob = knobs.get(arg.arg)
+                claimed = knob is not None and knob.api == API_PARAM and (
+                    not knob.api_functions or name in knob.api_functions)
+                if not claimed:
+                    findings.append(Finding(
+                        api.rel, func.lineno, CHECKER,
+                        f"api parameter '{arg.arg}' of '{name}()' is not "
+                        "in the knob registry",
+                    ))
+    if cli is not None:
+        registered_flags = {k.cli for k in config.knobs if k.cli is not None}
+        for flag, line in sorted(knob_flags.items()):
+            if flag not in registered_flags:
+                findings.append(Finding(
+                    cli.rel, line, CHECKER,
+                    f"CLI flag '{flag}' in {config.cli_knob_function} is "
+                    "not in the knob registry",
+                ))
+    if protocol is not None and option_assign is not None:
+        line, values = option_assign
+        for value in values:
+            knob = knobs.get(value)
+            if knob is None or knob.service != SERVICE_OPTION:
+                findings.append(Finding(
+                    protocol.rel, line, CHECKER,
+                    f"{config.option_fields_name} entry '{value}' is not "
+                    "a registered per-request option knob",
+                ))
+    if protocol is not None:
+        for value in sorted(request_fields - _REQUEST_EXEMPT):
+            knob = knobs.get(value)
+            if knob is None or knob.service not in (SERVICE_OPTION,
+                                                    SERVICE_REQUEST):
+                findings.append(Finding(
+                    protocol.rel, 1, CHECKER,
+                    f"request field '{value}' is not a registered "
+                    "request/option knob",
+                ))
+    if init is not None and service is not None:
+        for param in init_params:
+            knob = knobs.get(param)
+            if knob is None or knob.service != SERVICE_CONSTRUCTOR:
+                findings.append(Finding(
+                    service.rel, init.lineno, CHECKER,
+                    f"{config.service_class}.__init__ parameter '{param}' "
+                    "is not a registered constructor knob",
+                ))
+    if pool is not None:
+        for name, line in sorted(worker_fields.items()):
+            if name in config.request_config_exempt:
+                continue
+            knob = knobs.get(name)
+            if knob is None or knob.worker != WORKER_FIELD:
+                findings.append(Finding(
+                    pool.rel, line, CHECKER,
+                    f"{config.request_config_class} field '{name}' is not "
+                    "a registered worker-field knob",
+                ))
+    return findings

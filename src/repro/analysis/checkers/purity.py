@@ -1,0 +1,135 @@
+"""Hot-path purity: ``bit_*`` modules stay allocation-free where it counts.
+
+The bit backend's whole performance argument (the BBMC bit-parallel
+discipline) is that branch state lives in machine integers — a ``set`` or
+``dict`` allocated per branch or per loop iteration silently reintroduces
+the object churn the backend exists to remove.  The rules, over every
+function in a module whose filename starts with ``bit_``:
+
+* **set allocation anywhere** — ``set()``/``frozenset()`` calls, set
+  literals and set comprehensions are the cardinal sin of the discipline
+  and are flagged wherever they appear;
+* **per-iteration allocation** — dict/list literals, ``dict()`` calls,
+  dict/list comprehensions and ``sorted()`` calls are flagged when they
+  execute inside a ``for``/``while`` loop (one-off per-call setup at the
+  function head is fine);
+* **len-on-set** — ``len()`` over a set-typed display is flagged anywhere
+  (it allocates the set just to count it; bitmasks count with
+  ``int.bit_count``).
+
+Audited exceptions (oracle fallbacks, measured-irrelevant cold paths) are
+annotated with ``# repro-lint: allow[purity] — reason`` pragmas.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.config import LintConfig
+from repro.analysis.findings import Finding
+from repro.analysis.index import FunctionInfo, ModuleIndex, ModuleInfo
+
+CHECKER = "purity"
+
+_SET_BUILTINS = frozenset({"set", "frozenset"})
+_LOOP_BUILTINS = frozenset({"dict", "sorted"})
+
+
+def _called_name(node: ast.Call) -> str | None:
+    if isinstance(node.func, ast.Name):
+        return node.func.id
+    return None
+
+
+def _is_set_expression(node: ast.expr) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return isinstance(node, ast.Call) and _called_name(node) in _SET_BUILTINS
+
+
+class _HotPathVisitor(ast.NodeVisitor):
+    """Walk one function body, tracking statement-loop depth."""
+
+    def __init__(self, info: ModuleInfo, func: FunctionInfo) -> None:
+        self.info = info
+        self.func = func
+        self.loop_depth = 0
+        self.findings: list[Finding] = []
+
+    def _flag(self, node: ast.AST, what: str) -> None:
+        self.findings.append(Finding(
+            self.info.rel, getattr(node, "lineno", self.func.lineno), CHECKER,
+            f"'{self.func.qualname}' {what}",
+        ))
+
+    # -- scope control: nested defs are visited as their own functions.
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        if node is not self.func.node:
+            return
+        self.generic_visit(node)
+
+    visit_AsyncFunctionDef = visit_FunctionDef  # type: ignore[assignment]
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        return
+
+    # -- loops.
+    def _visit_loop(self, node: ast.stmt) -> None:
+        self.loop_depth += 1
+        self.generic_visit(node)
+        self.loop_depth -= 1
+
+    visit_For = visit_While = visit_AsyncFor = _visit_loop
+
+    # -- allocations.
+    def visit_Set(self, node: ast.Set) -> None:
+        self._flag(node, "allocates a set (set literal) in the bit hot path")
+        self.generic_visit(node)
+
+    def visit_SetComp(self, node: ast.SetComp) -> None:
+        self._flag(node,
+                   "allocates a set (set comprehension) in the bit hot path")
+        self.generic_visit(node)
+
+    def visit_DictComp(self, node: ast.DictComp) -> None:
+        if self.loop_depth:
+            self._flag(node, "allocates a dict (dict comprehension) "
+                             "inside a loop")
+        self.generic_visit(node)
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        if self.loop_depth:
+            self._flag(node, "allocates a list (list comprehension) "
+                             "inside a loop")
+        self.generic_visit(node)
+
+    def visit_Dict(self, node: ast.Dict) -> None:
+        if self.loop_depth:
+            self._flag(node, "allocates a dict (dict literal) inside a loop")
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = _called_name(node)
+        if name in _SET_BUILTINS:
+            self._flag(node, f"allocates a set ({name}() call) in the bit "
+                             "hot path")
+        elif name in _LOOP_BUILTINS and self.loop_depth:
+            self._flag(node, f"calls {name}() inside a loop")
+        elif name == "len" and node.args \
+                and _is_set_expression(node.args[0]):
+            self._flag(node, "calls len() on a set display (count bits "
+                             "with int.bit_count instead)")
+            # the inner set allocation is flagged by its own visit.
+        self.generic_visit(node)
+
+
+def check(index: ModuleIndex, config: LintConfig) -> list[Finding]:
+    findings: list[Finding] = []
+    for info in index:
+        if not info.basename.startswith(config.purity_prefix):
+            continue
+        for func in info.functions:
+            visitor = _HotPathVisitor(info, func)
+            visitor.visit(func.node)
+            findings.extend(visitor.findings)
+    return findings

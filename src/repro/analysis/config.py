@@ -1,0 +1,74 @@
+"""Lint configuration: which modules embody which convention.
+
+The default configuration targets the live ``src/`` tree; the test suite
+builds alternative configurations pointing at fixture trees under
+``tests/analysis/fixtures/`` so every checker can be exercised against
+deliberately broken code without touching real modules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.knobs import Knob, default_knobs
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Where each checked convention lives in the tree under lint."""
+
+    # --- backend-twin parity -------------------------------------------
+    #: set-backend engine modules; public functions with a ``ctx``
+    #: parameter here must have a ``bit_``-prefixed twin.
+    set_modules: tuple[str, ...] = (
+        "repro.core.phases",
+        "repro.core.edge_engine",
+        "repro.core.early_termination",
+    )
+    #: bitmask-backend engine modules; the reverse direction of parity.
+    bit_modules: tuple[str, ...] = (
+        "repro.core.bit_phases",
+        "repro.core.bit_edge_engine",
+        "repro.core.bit_plex",
+    )
+    #: naming prefix of a bit twin (``pivot_phase`` -> ``bit_pivot_phase``).
+    bit_prefix: str = "bit_"
+    #: parameter name marking a function as an engine entry point.
+    ctx_param: str = "ctx"
+
+    # --- hot-path purity -----------------------------------------------
+    #: file-basename prefix selecting the hot-path modules.
+    purity_prefix: str = "bit_"
+
+    # --- knob threading -------------------------------------------------
+    api_module: str = "repro.api"
+    #: public entry points whose keyword-only parameters are knobs.
+    api_functions: tuple[str, ...] = (
+        "enumerate_to_sink",
+        "maximal_cliques",
+        "count_maximal_cliques",
+        "run_with_report",
+    )
+    cli_module: str = "repro.cli"
+    #: the function whose flags form the shared knob surface of the CLI.
+    cli_knob_function: str = "_add_graph_arguments"
+    protocol_module: str = "repro.service.protocol"
+    option_fields_name: str = "OPTION_FIELDS"
+    request_options_function: str = "_request_options"
+    request_handler_function: str = "handle_request"
+    service_module: str = "repro.service.core"
+    service_class: str = "CliqueService"
+    pool_module: str = "repro.parallel.pool"
+    request_config_class: str = "RequestConfig"
+    #: RequestConfig fields that are not knobs (task plumbing).
+    request_config_exempt: tuple[str, ...] = ("options", "mode")
+    knobs: tuple[Knob, ...] = field(default_factory=default_knobs)
+
+    # --- boundary conventions -------------------------------------------
+    cli_main_function: str = "main"
+    #: packages whose functions run (or may run) worker-side; ``global``
+    #: statements there break fork/respawn safety.
+    worker_packages: tuple[str, ...] = ("repro.parallel", "repro.service")
+
+
+DEFAULT_CONFIG = LintConfig()

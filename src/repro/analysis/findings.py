@@ -1,0 +1,44 @@
+"""Finding: one linter diagnostic, with stable identity for the baseline.
+
+A finding renders as ``file:line · checker · message`` (the format every
+checker, the text reporter and the CI log share).  Its *identity* — the key
+the baseline file stores — deliberately excludes the line number: accepted
+findings survive unrelated edits that shift lines, while any change to the
+file, checker or message reads as a new finding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Identity of a finding in the baseline: (file, checker, message).
+FindingKey = tuple[str, str, str]
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One diagnostic emitted by a checker.
+
+    ``rel`` is the file path relative to the lint root (posix separators),
+    so identities are stable across checkouts and machines.
+    """
+
+    rel: str
+    line: int
+    checker: str
+    message: str
+
+    @property
+    def key(self) -> FindingKey:
+        return (self.rel, self.checker, self.message)
+
+    def render(self, prefix: str = "") -> str:
+        return f"{prefix}{self.rel}:{self.line} · {self.checker} · {self.message}"
+
+    def as_dict(self) -> dict[str, object]:
+        return {
+            "file": self.rel,
+            "line": self.line,
+            "checker": self.checker,
+            "message": self.message,
+        }

@@ -1,0 +1,153 @@
+"""The lint driver: build the index, run the checkers, report, exit.
+
+Shared by both frontends — ``python -m repro.analysis`` and the
+``repro-mce lint`` sub-command — so flags and exit codes cannot drift
+between them.
+
+Exit codes: 0 — clean (every finding baselined or suppressed);
+1 — new findings, or stale baseline entries; 2 — usage errors (bad
+paths, unreadable baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import TextIO
+
+from repro.analysis.baseline import (
+    BaselineError,
+    load_baseline,
+    partition,
+    save_baseline,
+)
+from repro.analysis.checkers import CHECKERS
+from repro.analysis.config import DEFAULT_CONFIG, LintConfig
+from repro.analysis.findings import Finding
+from repro.analysis.index import ModuleIndex
+
+#: default lint root: the ``src/`` directory this package is installed in.
+DEFAULT_SRC = Path(__file__).resolve().parents[2]
+
+#: default baseline: committed next to ``src/`` at the repo root.
+DEFAULT_BASELINE = DEFAULT_SRC.parent / "lint-baseline.json"
+
+
+def run_lint(
+    src_root: Path, config: LintConfig = DEFAULT_CONFIG,
+    checkers: dict | None = None,
+) -> list[Finding]:
+    """All unsuppressed findings for the tree under ``src_root``, sorted.
+
+    Pragma suppression is applied centrally here, so individual checkers
+    stay oblivious to it (and new checkers get it for free).
+    """
+    index = ModuleIndex.build(src_root)
+    findings: list[Finding] = []
+    for name, check in (checkers or CHECKERS).items():
+        for finding in check(index, config):
+            info = index.get_by_rel(finding.rel)
+            if info is not None and info.allows(finding.line, name):
+                continue
+            findings.append(finding)
+    return sorted(findings)
+
+
+def execute(
+    *,
+    src: Path,
+    baseline_path: Path,
+    out_format: str = "text",
+    update_baseline: bool = False,
+    show_baselined: bool = False,
+    config: LintConfig = DEFAULT_CONFIG,
+    stdout: TextIO | None = None,
+    stderr: TextIO | None = None,
+) -> int:
+    """Run the lint end to end; returns the process exit code."""
+    out = stdout if stdout is not None else sys.stdout
+    err = stderr if stderr is not None else sys.stderr
+    src = Path(src)
+    if not src.is_dir():
+        print(f"error: source root {src} is not a directory", file=err)
+        return 2
+    try:
+        baseline = load_baseline(Path(baseline_path))
+    except BaselineError as exc:
+        print(f"error: {exc}", file=err)
+        return 2
+
+    findings = run_lint(src, config)
+    if update_baseline:
+        save_baseline(Path(baseline_path), findings)
+        print(f"baseline updated: {len(findings)} finding(s) accepted in "
+              f"{baseline_path}", file=err)
+        return 0
+
+    new, accepted, stale = partition(findings, baseline)
+
+    if out_format == "json":
+        print(json.dumps({
+            "ok": not new and not stale,
+            "new": [f.as_dict() for f in new],
+            "baselined": [f.as_dict() for f in accepted],
+            "stale": [
+                {"file": k[0], "checker": k[1], "message": k[2]}
+                for k in stale
+            ],
+        }, indent=2), file=out)
+    else:
+        for finding in new:
+            print(finding.render(), file=out)
+        if show_baselined:
+            for finding in accepted:
+                print(finding.render(prefix="[baselined] "), file=out)
+        for key in stale:
+            print(f"{key[0]} · {key[1]} · {key[2]}  [stale baseline entry: "
+                  "fixed findings must be pruned with --update-baseline]",
+                  file=out)
+        summary = (f"{len(new)} new finding(s), {len(accepted)} baselined, "
+                   f"{len(stale)} stale")
+        print(summary if new or stale else f"lint clean ({summary})",
+              file=err)
+    return 1 if new or stale else 0
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """The lint flags, shared by both CLI frontends."""
+    parser.add_argument("--src", default=str(DEFAULT_SRC), metavar="DIR",
+                        help="source root to lint (default: the installed "
+                             "src/ tree)")
+    parser.add_argument("--baseline", default=str(DEFAULT_BASELINE),
+                        metavar="FILE",
+                        help="accepted-findings file (default: "
+                             "lint-baseline.json at the repo root)")
+    parser.add_argument("--format", choices=["text", "json"], default="text",
+                        dest="out_format", help="report format")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="accept every current finding into the "
+                             "baseline file")
+    parser.add_argument("--show-baselined", action="store_true",
+                        help="also print accepted (baselined) findings")
+
+
+def run_from_args(args: argparse.Namespace) -> int:
+    return execute(
+        src=Path(args.src),
+        baseline_path=Path(args.baseline),
+        out_format=args.out_format,
+        update_baseline=args.update_baseline,
+        show_baselined=args.show_baselined,
+    )
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis",
+        description="Project linter: backend-twin parity, hot-path purity, "
+                    "knob-threading drift and boundary conventions.",
+    )
+    add_lint_arguments(parser)
+    return run_from_args(parser.parse_args(argv))

@@ -215,6 +215,7 @@ def enumerate_to_sink(
     n_jobs: int | None = None,
     chunk_strategy: str | None = None,
     cost_model: str | None = None,
+    chunks_per_worker: int | None = None,
     x_aware: bool | None = None,
     **options,
 ) -> Counters:
@@ -235,12 +236,14 @@ def enumerate_to_sink(
         aggregator = CallbackAggregator(sink)
         counters = run_parallel(
             g, aggregator, algorithm=algorithm, n_jobs=n_jobs,
-            **_parallel_kwargs(chunk_strategy, cost_model, x_aware),
+            **_parallel_kwargs(chunk_strategy, cost_model, x_aware,
+                               chunks_per_worker),
             **options,
         )
         aggregator.finish()
         return counters
-    _reject_serial_parallel_options(chunk_strategy, cost_model, x_aware)
+    _reject_serial_parallel_options(chunk_strategy, cost_model, x_aware,
+                                    chunks_per_worker)
     spec = get_algorithm(algorithm)
     if "initial_x" in options and not spec.supports_initial_x:
         from repro.exceptions import InvalidParameterError
@@ -254,7 +257,8 @@ def enumerate_to_sink(
 
 
 def _parallel_kwargs(chunk_strategy: str | None, cost_model: str | None,
-                     x_aware: bool | None = None) -> dict:
+                     x_aware: bool | None = None,
+                     chunks_per_worker: int | None = None) -> dict:
     kwargs = {}
     if chunk_strategy is not None:
         kwargs["chunk_strategy"] = chunk_strategy
@@ -262,21 +266,23 @@ def _parallel_kwargs(chunk_strategy: str | None, cost_model: str | None,
         kwargs["cost_model"] = cost_model
     if x_aware is not None:
         kwargs["x_aware"] = x_aware
+    if chunks_per_worker is not None:
+        kwargs["chunks_per_worker"] = chunks_per_worker
     return kwargs
 
 
 def _reject_serial_parallel_options(
     chunk_strategy: str | None, cost_model: str | None,
-    x_aware: bool | None = None,
+    x_aware: bool | None = None, chunks_per_worker: int | None = None,
 ) -> None:
     """Scheduling knobs without ``n_jobs`` are almost certainly a mistake."""
     from repro.exceptions import InvalidParameterError
 
     if chunk_strategy is not None or cost_model is not None \
-            or x_aware is not None:
+            or x_aware is not None or chunks_per_worker is not None:
         raise InvalidParameterError(
-            "chunk_strategy/cost_model/x_aware require n_jobs "
-            "(the parallel path)"
+            "chunk_strategy/cost_model/x_aware/chunks_per_worker require "
+            "n_jobs (the parallel path)"
         )
 
 
@@ -288,6 +294,7 @@ def maximal_cliques(
     n_jobs: int | None = None,
     chunk_strategy: str | None = None,
     cost_model: str | None = None,
+    chunks_per_worker: int | None = None,
     x_aware: bool | None = None,
     **options,
 ) -> list[tuple[int, ...]]:
@@ -303,7 +310,7 @@ def maximal_cliques(
     enumerate_to_sink(
         g, collector, algorithm=algorithm, n_jobs=n_jobs,
         chunk_strategy=chunk_strategy, cost_model=cost_model,
-        x_aware=x_aware, **options,
+        chunks_per_worker=chunks_per_worker, x_aware=x_aware, **options,
     )
     if sort:
         return collector.sorted_cliques()
@@ -317,6 +324,7 @@ def count_maximal_cliques(
     n_jobs: int | None = None,
     chunk_strategy: str | None = None,
     cost_model: str | None = None,
+    chunks_per_worker: int | None = None,
     x_aware: bool | None = None,
     **options,
 ) -> int:
@@ -331,11 +339,13 @@ def count_maximal_cliques(
         aggregator = CountAggregator()
         run_parallel(
             g, aggregator, algorithm=algorithm, n_jobs=n_jobs,
-            **_parallel_kwargs(chunk_strategy, cost_model, x_aware),
+            **_parallel_kwargs(chunk_strategy, cost_model, x_aware,
+                               chunks_per_worker),
             **options,
         )
         return aggregator.finish()
-    _reject_serial_parallel_options(chunk_strategy, cost_model, x_aware)
+    _reject_serial_parallel_options(chunk_strategy, cost_model, x_aware,
+                                    chunks_per_worker)
     counter = CliqueCounter()
     enumerate_to_sink(g, counter, algorithm=algorithm, **options)
     return counter.count
@@ -348,6 +358,7 @@ def run_with_report(
     n_jobs: int | None = None,
     chunk_strategy: str | None = None,
     cost_model: str | None = None,
+    chunks_per_worker: int | None = None,
     x_aware: bool | None = None,
     **options,
 ) -> RunReport:
@@ -364,12 +375,14 @@ def run_with_report(
         aggregator = CountAggregator()
         counters = run_parallel(
             g, aggregator, algorithm=algorithm, n_jobs=n_jobs,
-            **_parallel_kwargs(chunk_strategy, cost_model, x_aware),
+            **_parallel_kwargs(chunk_strategy, cost_model, x_aware,
+                               chunks_per_worker),
             **options,
         )
         count = aggregator.finish()
     else:
-        _reject_serial_parallel_options(chunk_strategy, cost_model, x_aware)
+        _reject_serial_parallel_options(chunk_strategy, cost_model, x_aware,
+                                        chunks_per_worker)
         counter = CliqueCounter()
         counters = enumerate_to_sink(g, counter, algorithm=algorithm, **options)
         count = counter.count

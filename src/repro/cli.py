@@ -22,7 +22,13 @@ from repro.api import ALGORITHMS, DEFAULT_ALGORITHM, maximal_cliques, run_with_r
 from repro.core.phases import BACKENDS
 from repro.exceptions import InvalidParameterError, UnknownAlgorithmError
 from repro.graph.bitadj import BIT_ORDERS
-from repro.parallel import CHUNK_STRATEGIES, DEFAULT_CHUNK_STRATEGY, parse_jobs
+from repro.parallel import (
+    CHUNK_STRATEGIES,
+    COST_MODELS,
+    DEFAULT_CHUNK_STRATEGY,
+    DEFAULT_COST_MODEL,
+    parse_jobs,
+)
 from repro.graph.adjacency import Graph
 from repro.graph.generators import DATASET_NAMES, load_dataset, paper_stats
 from repro.graph.io import load_graph
@@ -45,7 +51,7 @@ def _load(args: argparse.Namespace) -> Graph:
             )
         return load_dataset(args.dataset)
     if not args.graph:
-        raise SystemExit("error: provide a graph file or --dataset CODE")
+        raise InvalidParameterError("provide a graph file or --dataset CODE")
     return load_graph(args.graph, fmt=args.format)
 
 
@@ -76,6 +82,14 @@ def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
                         help="how subproblems are packed into worker chunks "
                              f"(default: {DEFAULT_CHUNK_STRATEGY}; requires "
                              "--jobs)")
+    parser.add_argument("--cost-model", choices=COST_MODELS, default=None,
+                        help="subproblem cost estimate driving the chunk "
+                             f"packing (default: {DEFAULT_COST_MODEL}; "
+                             "requires --jobs)")
+    parser.add_argument("--chunks-per-worker", type=int, default=None,
+                        metavar="K",
+                        help="cut K cost-balanced chunks per worker instead "
+                             "of 1 (finer-grained stealing; requires --jobs)")
     parser.add_argument("--no-x-aware", action="store_true",
                         help="disable X-set-aware subproblems: enumerate "
                              "each subproblem fully, then filter duplicated "
@@ -107,18 +121,23 @@ def _parallel_options(args: argparse.Namespace) -> dict:
     library's error convention: exit code 2 with a one-line message.
     """
     if args.jobs is None:
-        if args.chunk_strategy is not None:
-            raise InvalidParameterError(
-                "--chunk-strategy requires --jobs (the parallel path)"
-            )
-        if args.no_x_aware:
-            raise InvalidParameterError(
-                "--no-x-aware requires --jobs (the parallel path)"
-            )
+        for flag, given in (("--chunk-strategy", args.chunk_strategy is not None),
+                            ("--cost-model", args.cost_model is not None),
+                            ("--chunks-per-worker",
+                             args.chunks_per_worker is not None),
+                            ("--no-x-aware", args.no_x_aware)):
+            if given:
+                raise InvalidParameterError(
+                    f"{flag} requires --jobs (the parallel path)"
+                )
         return {}
     options = {"n_jobs": parse_jobs(args.jobs)}
     if args.chunk_strategy is not None:
         options["chunk_strategy"] = args.chunk_strategy
+    if args.cost_model is not None:
+        options["cost_model"] = args.cost_model
+    if args.chunks_per_worker is not None:
+        options["chunks_per_worker"] = args.chunks_per_worker
     if args.no_x_aware:
         options["x_aware"] = False
     return options
@@ -234,6 +253,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
     service = CliqueService(
         n_jobs=n_jobs,
         chunk_strategy=args.chunk_strategy or DEFAULT_CHUNK_STRATEGY,
+        cost_model=args.cost_model or DEFAULT_COST_MODEL,
+        chunks_per_worker=args.chunks_per_worker
+        if args.chunks_per_worker is not None else 1,
     )
     try:
         for code in args.dataset or []:
@@ -254,6 +276,13 @@ def cmd_serve(args: argparse.Namespace) -> int:
         return serve_stdio(service)
     finally:
         service.close()
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run the project linter (see :mod:`repro.analysis`)."""
+    from repro.analysis.runner import run_from_args
+
+    return run_from_args(args)
 
 
 def cmd_bench(args: argparse.Namespace) -> int:
@@ -314,6 +343,11 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--chunk-strategy", choices=CHUNK_STRATEGIES, default=None,
                    help=f"chunk packing strategy (default: "
                         f"{DEFAULT_CHUNK_STRATEGY})")
+    p.add_argument("--cost-model", choices=COST_MODELS, default=None,
+                   help=f"subproblem cost model (default: "
+                        f"{DEFAULT_COST_MODEL})")
+    p.add_argument("--chunks-per-worker", type=int, default=None, metavar="K",
+                   help="cost-balanced chunks per worker (default: 1)")
     p.add_argument("--dataset", action="append", metavar="CODE",
                    help="pre-register a bundled dataset (repeatable)")
     p.add_argument("--graph", action="append", metavar="FILE",
@@ -322,6 +356,14 @@ def build_parser() -> argparse.ArgumentParser:
                    default=None,
                    help="format for --graph files (default: by suffix)")
     p.set_defaults(fn=cmd_serve)
+
+    p = sub.add_parser("lint", help="run the project linter (backend "
+                                    "parity, hot-path purity, knob drift, "
+                                    "boundary conventions)")
+    from repro.analysis.runner import add_lint_arguments
+
+    add_lint_arguments(p)
+    p.set_defaults(fn=cmd_lint)
 
     p = sub.add_parser("bench", help="regenerate a paper table/figure")
     p.add_argument("experiment", help="experiment id or 'all'")

@@ -146,6 +146,9 @@ def bit_edge_phase(
         if descend_edges:
             new_cand = (
                 view if view is not None
+                # Dense-branch fallback: the view cache declined, so one
+                # per-branch dict is the cheapest exact candidate structure.
+                # repro-lint: allow[purity] — audited dense-branch fallback
                 else {w: adj[w] & new_c for w in iter_bits(new_c)}
             )
             bit_edge_phase(S, new_c, new_x, new_cand, adj, rank, n,
@@ -318,6 +321,8 @@ def bit_run_edge_root(
         if descend_edges:
             new_cand = (
                 view if view is not None
+                # Same audited dense-branch fallback as bit_edge_phase above.
+                # repro-lint: allow[purity] — audited dense-branch fallback
                 else {w: adj[w] & new_c for w in iter_bits(new_c)}
             )
             bit_edge_phase(S, new_c, new_x, new_cand, adj, rank, n,

@@ -356,6 +356,7 @@ def bit_fire_plex(
         for b in path:
             seen |= 1 << b
         choices.append(
+            # repro-lint: allow[purity] — one list per component, not per clique
             [tuple(path[i] for i in pat) for pat in _path_patterns(len(path))]
         )
     cyclic &= ~seen
@@ -373,6 +374,7 @@ def bit_fire_plex(
         for b in cycle:
             cyclic &= ~(1 << b)
         choices.append(
+            # repro-lint: allow[purity] — one list per component, not per clique
             [tuple(cycle[i] for i in pat) for pat in _cycle_patterns(len(cycle))]
         )
 
@@ -407,6 +409,10 @@ def et_implementation(fire) -> Iterator[None]:
         bit_phases.bit_fire_plex = previous
 
 
+# Deliberate set-backed oracle fallback: the pre-bit-native reference the
+# differential suite and the ET benchmark compare against; it has no set
+# twin and converts the branch to sets by design.
+# repro-lint: allow[parity,purity] — audited oracle fallback
 def bit_fire_plex_roundtrip(
     S: list[int],
     C: int,

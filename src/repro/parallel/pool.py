@@ -225,6 +225,9 @@ _WORKER_GRAPHS: dict[str, GraphState] = {}
 _WORKER_BARRIER = None
 
 
+# The initializer is the one audited global write: it runs exactly once per
+# worker (and again on respawn, by design — see the docstring).
+# repro-lint: allow[boundaries] — audited pool-initializer global
 def _init_worker(barrier, states: dict[str, GraphState]) -> None:
     """Pool initializer: install the broadcast barrier and known graphs.
 

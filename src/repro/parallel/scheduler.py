@@ -23,6 +23,7 @@ chunk index, never on hash order.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable
 
 from repro.exceptions import InvalidParameterError
 from repro.parallel.decompose import Subproblem
@@ -74,7 +75,7 @@ def _round_robin_chunks(subproblems: list[Subproblem], k: int) -> list[list[int]
     return members
 
 
-_STRATEGIES = {
+_STRATEGIES: dict[str, Callable[[list[Subproblem], int], list[list[int]]]] = {
     "greedy": _greedy_chunks,
     "contiguous": _contiguous_chunks,
     "round-robin": _round_robin_chunks,
@@ -99,7 +100,7 @@ def make_chunks(
         return []
     k = min(n_chunks, len(subproblems))
     cost_of = {s.position: s.cost for s in subproblems}
-    chunks = []
+    chunks: list[Chunk] = []
     for raw in _STRATEGIES[strategy](subproblems, k):
         if not raw:
             continue

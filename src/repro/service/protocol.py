@@ -38,9 +38,13 @@ never tears down a connection over a bad request.
 from __future__ import annotations
 
 import json
+from typing import TYPE_CHECKING, Any
 
 from repro.exceptions import ReproError
 from repro.graph.adjacency import Graph
+
+if TYPE_CHECKING:
+    from repro.service.core import CliqueService
 
 PROTOCOL_VERSION = 1
 
@@ -50,14 +54,14 @@ OPTION_FIELDS = ("backend", "bit_order", "et_threshold", "graph_reduction")
 _COMMON_FIELDS = {"op", "id"}
 
 
-def _exact_int(value, what: str) -> int:
+def _exact_int(value: object, what: str) -> int:
     """Accept only exact integers — ``2.7`` must not silently become 2."""
     if isinstance(value, bool) or not isinstance(value, int):
         raise ReproError(f"{what} must be an integer, got {value!r}")
     return value
 
 
-def _request_options(request: dict, *extra: str) -> dict:
+def _request_options(request: dict[str, Any], *extra: str) -> dict[str, Any]:
     """Split a request into algorithm options, rejecting unknown fields."""
     allowed = _COMMON_FIELDS | {"graph", "algorithm", "x_aware"} \
         | set(OPTION_FIELDS) | set(extra)
@@ -67,7 +71,7 @@ def _request_options(request: dict, *extra: str) -> dict:
             f"unknown request field(s) {', '.join(unknown)}; "
             f"allowed: {', '.join(sorted(allowed))}"
         )
-    options = {}
+    options: dict[str, Any] = {}
     for field in OPTION_FIELDS:
         if field in request:
             value = request[field]
@@ -77,7 +81,7 @@ def _request_options(request: dict, *extra: str) -> dict:
     return options
 
 
-def _graph_key(request: dict) -> str:
+def _graph_key(request: dict[str, Any]) -> str:
     key = request.get("graph")
     if not isinstance(key, str) or not key:
         raise ReproError("request needs a 'graph' (registered name or "
@@ -85,8 +89,8 @@ def _graph_key(request: dict) -> str:
     return key
 
 
-def _kwargs(request: dict) -> dict:
-    kwargs = {}
+def _kwargs(request: dict[str, Any]) -> dict[str, Any]:
+    kwargs: dict[str, Any] = {}
     if "algorithm" in request:
         kwargs["algorithm"] = request["algorithm"]
     if "x_aware" in request:
@@ -97,7 +101,8 @@ def _kwargs(request: dict) -> dict:
     return kwargs
 
 
-def _handle_register(service, request: dict) -> dict:
+def _handle_register(service: CliqueService,
+                     request: dict[str, Any]) -> dict[str, Any]:
     sources = [k for k in ("path", "dataset", "edges") if k in request]
     if len(sources) != 1:
         raise ReproError(
@@ -144,14 +149,15 @@ def _handle_register(service, request: dict) -> dict:
     return service.register(g, name=name)
 
 
-def handle_request(service, request: dict) -> tuple[dict, bool]:
+def handle_request(service: CliqueService,
+                   request: object) -> tuple[dict[str, Any], bool]:
     """Execute one decoded request; returns ``(response, shutdown)``.
 
     User errors (anything :class:`ReproError`-shaped, plus malformed
     request objects) come back as ``ok: false`` responses; programming
     errors propagate so transports crash loudly instead of masking bugs.
     """
-    response: dict = {"ok": True}
+    response: dict[str, Any] = {"ok": True}
     request_id = request.get("id") if isinstance(request, dict) else None
     if request_id is not None:
         response["id"] = request_id
@@ -198,7 +204,7 @@ def handle_request(service, request: dict) -> tuple[dict, bool]:
     return response, shutdown
 
 
-def handle_line(service, line: str) -> tuple[str, bool]:
+def handle_line(service: CliqueService, line: str) -> tuple[str, bool]:
     """Decode one request line, execute it, encode the response line."""
     try:
         request = json.loads(line)

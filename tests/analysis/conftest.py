@@ -1,0 +1,12 @@
+"""Shared helpers for the linter test suite."""
+
+from pathlib import Path
+
+import pytest
+
+FIXTURES = Path(__file__).parent / "fixtures"
+
+
+@pytest.fixture()
+def fixtures() -> Path:
+    return FIXTURES

@@ -1,0 +1,11 @@
+"""Boundary fixture (bad): SystemExit escape hatch, no exit-2 handler."""
+
+
+def _load(args):
+    if not args:
+        raise SystemExit("error: no input")
+    return args
+
+
+def main(argv=None):
+    return _load(argv)

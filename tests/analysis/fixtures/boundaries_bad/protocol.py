@@ -1,0 +1,5 @@
+"""Boundary fixture (bad): handler lets exceptions unwind the transport."""
+
+
+def handle_request(service, request):
+    return {"ok": True, "op": request.get("op")}, False

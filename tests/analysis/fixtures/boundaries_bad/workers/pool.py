@@ -1,0 +1,8 @@
+"""Boundary fixture (bad): a worker function mutating module globals."""
+
+_CACHE = None
+
+
+def init_worker(value):
+    global _CACHE
+    _CACHE = value

@@ -1,0 +1,17 @@
+"""Boundary fixture (good): user errors print once and exit 2."""
+
+import sys
+
+
+def _load(args):
+    if not args:
+        raise ValueError("provide an input")
+    return args
+
+
+def main(argv=None):
+    try:
+        return 0 if _load(argv) else 1
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2

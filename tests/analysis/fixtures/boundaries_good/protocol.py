@@ -1,0 +1,8 @@
+"""Boundary fixture (good): errors become ok:false responses."""
+
+
+def handle_request(service, request):
+    try:
+        return {"ok": True, "op": request.get("op")}, False
+    except ValueError as exc:
+        return {"ok": False, "error": str(exc)}, False

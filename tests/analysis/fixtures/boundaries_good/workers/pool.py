@@ -1,0 +1,9 @@
+"""Boundary fixture (good): the audited initializer global, pragma'd."""
+
+_CACHE = None
+
+
+# repro-lint: allow[boundaries] — audited fixture initializer
+def init_worker(value):
+    global _CACHE
+    _CACHE = value

@@ -1,0 +1,5 @@
+"""Knob fixture (bad): a missing declared knob and an unregistered one."""
+
+
+def run(g, *, algorithm="default", n_jobs=None, mystery=None, **options):
+    return g, algorithm, n_jobs, mystery, options

@@ -1,0 +1,13 @@
+"""Knob fixture (bad): missing --backend, plus an unregistered flag."""
+
+
+def add_knob_arguments(parser):
+    parser.add_argument("--algorithm")
+    parser.add_argument("--rogue-flag")
+
+
+def main(argv=None):
+    try:
+        return 0
+    except ValueError:
+        return 2

@@ -1,0 +1,8 @@
+"""Knob fixture (bad): RequestConfig missing x_aware, plus a stray field."""
+
+
+class RequestConfig:
+    algorithm: str
+    options: dict
+    mode: str
+    stray: int = 0

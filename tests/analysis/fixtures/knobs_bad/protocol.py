@@ -1,0 +1,19 @@
+"""Knob fixture (bad): request schema missing the x_aware field."""
+
+OPTION_FIELDS = ("backend",)
+
+_COMMON_FIELDS = {"op", "id"}
+
+
+def _request_options(request, *extra):
+    allowed = _COMMON_FIELDS | {"graph", "algorithm"} \
+        | set(OPTION_FIELDS) | set(extra)
+    return {k: request[k] for k in OPTION_FIELDS if k in request}, allowed
+
+
+def handle_request(service, request):
+    options, _ = _request_options(request, "limit")
+    try:
+        return {"ok": True, "options": options}, False
+    except ValueError as exc:
+        return {"ok": False, "error": str(exc)}, False

@@ -1,0 +1,7 @@
+"""Knob fixture (bad): an unregistered constructor parameter."""
+
+
+class Service:
+    def __init__(self, *, n_jobs=1, secret_knob=2):
+        self.n_jobs = n_jobs
+        self.secret_knob = secret_knob

@@ -1,0 +1,5 @@
+"""Knob fixture (good): every registered knob threads through."""
+
+
+def run(g, *, algorithm="default", n_jobs=None, x_aware=None, **options):
+    return g, algorithm, n_jobs, x_aware, options

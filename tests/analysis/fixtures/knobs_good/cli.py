@@ -1,0 +1,14 @@
+"""Knob fixture (good): one flag per registered knob."""
+
+
+def add_knob_arguments(parser):
+    parser.add_argument("--algorithm")
+    parser.add_argument("--backend")
+    parser.add_argument("--x-aware")
+
+
+def main(argv=None):
+    try:
+        return 0
+    except ValueError:
+        return 2

@@ -1,0 +1,8 @@
+"""Knob fixture (good): RequestConfig carries exactly the worker knobs."""
+
+
+class RequestConfig:
+    algorithm: str
+    options: dict
+    mode: str
+    x_aware: bool = True

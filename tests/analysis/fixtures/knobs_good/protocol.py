@@ -1,0 +1,19 @@
+"""Knob fixture (good): the request schema accepts every request knob."""
+
+OPTION_FIELDS = ("backend",)
+
+_COMMON_FIELDS = {"op", "id"}
+
+
+def _request_options(request, *extra):
+    allowed = _COMMON_FIELDS | {"graph", "algorithm", "x_aware"} \
+        | set(OPTION_FIELDS) | set(extra)
+    return {k: request[k] for k in OPTION_FIELDS if k in request}, allowed
+
+
+def handle_request(service, request):
+    options, _ = _request_options(request, "limit")
+    try:
+        return {"ok": True, "options": options}, False
+    except ValueError as exc:
+        return {"ok": False, "error": str(exc)}, False

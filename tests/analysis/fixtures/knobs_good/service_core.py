@@ -1,0 +1,6 @@
+"""Knob fixture (good): only registered constructor knobs."""
+
+
+class Service:
+    def __init__(self, *, n_jobs=1):
+        self.n_jobs = n_jobs

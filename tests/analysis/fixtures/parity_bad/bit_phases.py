@@ -1,0 +1,11 @@
+"""Parity fixture (bad): the bit side of the broken tree."""
+
+
+def bit_rcd_phase(C, S, ctx):
+    """Shared params reordered relative to rcd_phase -> incompatible."""
+    return C, S
+
+
+def bit_orphan_phase(S, ctx):
+    """No set-backend twin -> parity finding."""
+    return S

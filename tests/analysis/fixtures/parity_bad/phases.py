@@ -1,0 +1,21 @@
+"""Parity fixture (bad): set-backend engines with broken bit twins."""
+
+
+def pivot_phase(S, C, X, cand, full, ctx):
+    """Engine with no bit twin at all -> parity finding."""
+    return len(S), C, X, cand, full
+
+
+def rcd_phase(S, C, ctx):
+    """Engine whose bit twin reorders the shared parameters."""
+    return S, C
+
+
+def _private_helper(S, ctx):
+    """Private: not part of the parity surface."""
+    return S
+
+
+def no_ctx_function(S, C):
+    """Public but not an engine (no ctx parameter)."""
+    return S, C

@@ -1,0 +1,16 @@
+"""Parity fixture (good): twins may interleave extras, never reorder."""
+
+
+def bit_pivot_phase(S, bg, C, X, cand, full, ctx):
+    """Extra bg param interleaved: still signature-compatible."""
+    return S, bg, C, X, cand, full
+
+
+def bit_fire_plex(S, C, cand, ctx, min_cand_degree=None):
+    return S, C, cand, min_cand_degree
+
+
+# Audited one-sided oracle, accepted via pragma.
+# repro-lint: allow[parity] — fixture oracle fallback
+def bit_oracle_phase(S, ctx):
+    return S

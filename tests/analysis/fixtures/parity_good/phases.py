@@ -1,0 +1,9 @@
+"""Parity fixture (good): every engine has a compatible twin."""
+
+
+def pivot_phase(S, C, X, cand, full, ctx):
+    return S, C, X, cand, full
+
+
+def fire_plex(S, C, cand, ctx, min_cand_degree=None):
+    return S, C, cand, min_cand_degree

@@ -1,0 +1,25 @@
+"""Purity fixture (bad): every rule violated once, plus a clean function."""
+
+
+def hot_loop(masks, items):
+    out = 0
+    for item in items:
+        mapping = {i: masks[i] for i in item}
+        parts = [x for x in item]
+        out += len(set(item))
+        for j in sorted(item):
+            out += j + len(mapping) + len(parts)
+    return out
+
+
+def set_outside_loop(C):
+    return set(range(C))
+
+
+def clean_setup(masks, C):
+    cand = {w: masks[w] & C for w in range(4)}
+    total = 0
+    while C:
+        C &= C - 1
+        total += 1
+    return cand, total

@@ -1,0 +1,25 @@
+"""Purity fixture (good): audited allocations suppressed by pragmas."""
+
+
+def audited_line(items):
+    out = []
+    for item in items:
+        out.append(
+            # repro-lint: allow[purity] — audited fixture allocation
+            {i: i for i in item}
+        )
+    return out
+
+
+# repro-lint: allow[purity] — whole-function oracle fixture
+def audited_function(C):
+    members = set(range(C))
+    return {v: set() for v in members}
+
+
+def mask_only(C):
+    total = 0
+    while C:
+        C &= C - 1
+        total += 1
+    return total

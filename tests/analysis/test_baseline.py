@@ -1,0 +1,79 @@
+"""Baseline round-trip, partition semantics and error handling."""
+
+import json
+
+import pytest
+
+from repro.analysis.baseline import (
+    BaselineError,
+    load_baseline,
+    partition,
+    save_baseline,
+)
+from repro.analysis.findings import Finding
+
+
+def _finding(message, line=1, rel="m.py", checker="purity"):
+    return Finding(rel, line, checker, message)
+
+
+class TestRoundTrip:
+    def test_save_then_load(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        findings = [_finding("a"), _finding("b"), _finding("b", line=9)]
+        save_baseline(path, findings)
+        keys = load_baseline(path)
+        assert keys[("m.py", "purity", "a")] == 1
+        assert keys[("m.py", "purity", "b")] == 2
+
+    def test_line_numbers_not_part_of_identity(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        save_baseline(path, [_finding("a", line=10)])
+        new, accepted, stale = partition([_finding("a", line=99)],
+                                         load_baseline(path))
+        assert new == [] and stale == []
+        assert len(accepted) == 1
+
+    def test_missing_file_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.json") == {}
+
+
+class TestPartition:
+    def test_new_accepted_and_stale(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        save_baseline(path, [_finding("old"), _finding("gone")])
+        new, accepted, stale = partition(
+            [_finding("old"), _finding("fresh")], load_baseline(path))
+        assert [f.message for f in new] == ["fresh"]
+        assert [f.message for f in accepted] == ["old"]
+        assert stale == [("m.py", "purity", "gone")]
+
+    def test_multiplicity_counts(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        save_baseline(path, [_finding("dup")])
+        # Two live findings, one baselined slot: the second is new.
+        new, accepted, stale = partition(
+            [_finding("dup", line=1), _finding("dup", line=2)],
+            load_baseline(path))
+        assert len(accepted) == 1 and len(new) == 1 and stale == []
+
+
+class TestErrors:
+    def test_bad_json_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text("{nope")
+        with pytest.raises(BaselineError):
+            load_baseline(path)
+
+    def test_wrong_version_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps({"version": 99, "findings": []}))
+        with pytest.raises(BaselineError):
+            load_baseline(path)
+
+    def test_malformed_entry_raises(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        path.write_text(json.dumps(
+            {"version": 1, "findings": [{"file": "m.py"}]}))
+        with pytest.raises(BaselineError):
+            load_baseline(path)

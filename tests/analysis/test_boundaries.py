@@ -1,0 +1,52 @@
+"""The boundary-conventions checker against good and bad fixture trees."""
+
+from repro.analysis.checkers import boundaries
+from repro.analysis.config import LintConfig
+from repro.analysis.index import ModuleIndex
+from repro.analysis.runner import run_lint
+
+CONFIG = LintConfig(
+    cli_module="cli",
+    protocol_module="protocol",
+    worker_packages=("workers",),
+)
+
+
+def _findings(fixtures, tree):
+    index = ModuleIndex.build(fixtures / tree)
+    return boundaries.check(index, CONFIG)
+
+
+class TestBoundariesBad:
+    def test_systemexit_raise_flagged(self, fixtures):
+        messages = [f.message for f in _findings(fixtures, "boundaries_bad")]
+        assert any("raises SystemExit directly" in m for m in messages)
+
+    def test_main_without_exit_2_handler_flagged(self, fixtures):
+        messages = [f.message for f in _findings(fixtures, "boundaries_bad")]
+        assert any("no except-handler returning exit code 2" in m
+                   for m in messages)
+
+    def test_handler_without_ok_false_flagged(self, fixtures):
+        messages = [f.message for f in _findings(fixtures, "boundaries_bad")]
+        assert any("'ok': False" in m for m in messages)
+
+    def test_worker_global_flagged(self, fixtures):
+        findings = _findings(fixtures, "boundaries_bad")
+        hits = [f for f in findings if "writes module globals" in f.message]
+        assert len(hits) == 1
+        assert hits[0].rel == "workers/pool.py"
+        assert "_CACHE" in hits[0].message
+
+
+class TestBoundariesGood:
+    def test_clean_tree_checker_level(self, fixtures):
+        # Only the pragma'd initializer global remains at checker level.
+        findings = _findings(fixtures, "boundaries_good")
+        assert len(findings) == 1
+        assert "init_worker" in findings[0].message
+
+    def test_pragma_suppresses_initializer(self, fixtures):
+        findings = run_lint(fixtures / "boundaries_good", CONFIG,
+                            checkers={"boundaries": boundaries.check})
+        assert findings == []

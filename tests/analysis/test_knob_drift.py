@@ -1,0 +1,98 @@
+"""The knob-threading drift checker against good and bad fixture trees."""
+
+from repro.analysis.checkers import knob_drift
+from repro.analysis.config import LintConfig
+from repro.analysis.index import ModuleIndex
+from repro.analysis.knobs import Knob
+
+KNOBS = (
+    Knob("algorithm", api="param", cli="--algorithm",
+         service="request", worker="field"),
+    Knob("backend", api="options", cli="--backend",
+         service="option", worker="options"),
+    Knob("n_jobs", api="param", cli=None, service="constructor", worker=None,
+         notes={"cli": "fixture: jobs flag lives elsewhere",
+                "worker": "fixture: pool property"}),
+    Knob("x_aware", api="param", cli="--x-aware",
+         service="request", worker="field"),
+    Knob("limit", api=None, cli=None, service="request", worker=None,
+         notes={"api": "fixture: caller-side slicing",
+                "cli": "fixture: not exposed",
+                "worker": "fixture: parent-side truncation"}),
+)
+
+CONFIG = LintConfig(
+    api_module="api",
+    api_functions=("run",),
+    cli_module="cli",
+    cli_knob_function="add_knob_arguments",
+    protocol_module="protocol",
+    service_module="service_core",
+    service_class="Service",
+    pool_module="pool",
+    knobs=KNOBS,
+)
+
+
+def _messages(fixtures, tree):
+    index = ModuleIndex.build(fixtures / tree)
+    return [f.message for f in knob_drift.check(index, CONFIG)]
+
+
+class TestKnobDriftBad:
+    def test_missing_api_parameter(self, fixtures):
+        messages = _messages(fixtures, "knobs_bad")
+        assert any("knob 'x_aware'" in m and "'run()' does not accept" in m
+                   for m in messages)
+
+    def test_missing_cli_flag(self, fixtures):
+        messages = _messages(fixtures, "knobs_bad")
+        assert any("flag '--backend' is not defined" in m for m in messages)
+        assert any("flag '--x-aware' is not defined" in m for m in messages)
+
+    def test_missing_request_field(self, fixtures):
+        messages = _messages(fixtures, "knobs_bad")
+        assert any("knob 'x_aware' is declared a request field" in m
+                   for m in messages)
+
+    def test_unregistered_api_parameter(self, fixtures):
+        messages = _messages(fixtures, "knobs_bad")
+        assert any("api parameter 'mystery'" in m for m in messages)
+
+    def test_unregistered_cli_flag(self, fixtures):
+        messages = _messages(fixtures, "knobs_bad")
+        assert any("CLI flag '--rogue-flag'" in m for m in messages)
+
+    def test_unregistered_constructor_parameter(self, fixtures):
+        messages = _messages(fixtures, "knobs_bad")
+        assert any("parameter 'secret_knob'" in m for m in messages)
+
+    def test_unregistered_worker_field(self, fixtures):
+        messages = _messages(fixtures, "knobs_bad")
+        assert any("field 'stray'" in m for m in messages)
+        assert any("knob 'x_aware' is declared a RequestConfig field" in m
+                   for m in messages)
+
+    def test_missing_note_is_a_finding(self, fixtures):
+        config = LintConfig(
+            api_module="api", api_functions=("run",), cli_module="cli",
+            cli_knob_function="add_knob_arguments", protocol_module="protocol",
+            service_module="service_core", service_class="Service",
+            pool_module="pool",
+            knobs=(Knob("algorithm", api="param", cli=None,
+                        service="request", worker="field"),),
+        )
+        index = ModuleIndex.build(fixtures / "knobs_good")
+        messages = [f.message for f in knob_drift.check(index, config)]
+        assert any("knob 'algorithm' has no CLI flag and no tracking note"
+                   in m for m in messages)
+
+
+class TestKnobDriftGood:
+    def test_consistent_tree_only_notes_needed(self, fixtures):
+        assert _messages(fixtures, "knobs_good") == []
+
+    def test_absent_modules_are_skipped(self, fixtures):
+        # A tree with none of the configured modules produces nothing.
+        index = ModuleIndex.build(fixtures / "parity_good")
+        assert knob_drift.check(index, CONFIG) == []

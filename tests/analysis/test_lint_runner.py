@@ -1,0 +1,155 @@
+"""End-to-end runner behaviour: exit codes, baseline flow, output formats.
+
+Also the live-tree self-check: the shipped ``src/`` must lint clean
+against the committed baseline, which is exactly what CI runs.
+"""
+
+import io
+import json
+from pathlib import Path
+
+from repro.analysis.config import DEFAULT_CONFIG, LintConfig
+from repro.analysis.runner import (
+    DEFAULT_BASELINE,
+    DEFAULT_SRC,
+    execute,
+    run_lint,
+)
+from repro.cli import main as cli_main
+
+PARITY_CONFIG = LintConfig(
+    set_modules=("phases",),
+    bit_modules=("bit_phases",),
+)
+
+
+def _run(src, baseline, **kwargs):
+    out, err = io.StringIO(), io.StringIO()
+    code = execute(src=src, baseline_path=baseline,
+                   stdout=out, stderr=err, **kwargs)
+    return code, out.getvalue(), err.getvalue()
+
+
+def _seed_violating_tree(root: Path) -> None:
+    """A miniature src/ tree with one violation per checker family,
+    laid out so DEFAULT_CONFIG's real module names resolve against it."""
+    core = root / "repro" / "core"
+    core.mkdir(parents=True)
+    (root / "repro" / "__init__.py").write_text("")
+    (core / "__init__.py").write_text("")
+    # Engine with no bit twin -> parity finding.
+    (core / "phases.py").write_text(
+        "def pivot_phase(S, C, ctx):\n    return None\n")
+    # Orphan bit engine that allocates a set -> parity + purity findings.
+    (core / "bit_phases.py").write_text(
+        "def bit_hot_scan(S, ctx):\n"
+        "    seen = set()\n"
+        "    return seen\n")
+    # Unregistered api knob -> knob-drift finding.
+    (root / "repro" / "api.py").write_text(
+        "def maximal_cliques(graph, *, algorithm='default',\n"
+        "                    rogue_knob=None, **options):\n"
+        "    return None\n")
+
+
+class TestExitCodes:
+    def test_clean_tree_is_0(self, fixtures, tmp_path):
+        code, _, err = _run(fixtures / "parity_good",
+                            tmp_path / "baseline.json",
+                            config=PARITY_CONFIG)
+        assert code == 0
+        assert "lint clean" in err
+
+    def test_new_findings_are_1(self, fixtures, tmp_path):
+        code, out, err = _run(fixtures / "parity_bad",
+                              tmp_path / "baseline.json",
+                              config=PARITY_CONFIG)
+        assert code == 1
+        assert "· parity ·" in out
+        assert "3 new finding(s)" in err
+
+    def test_bad_src_dir_is_2(self, tmp_path):
+        code, _, err = _run(tmp_path / "missing", tmp_path / "baseline.json")
+        assert code == 2
+        assert "not a directory" in err
+
+    def test_malformed_baseline_is_2(self, fixtures, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text("{nope")
+        code, _, err = _run(fixtures / "parity_good", baseline,
+                            config=PARITY_CONFIG)
+        assert code == 2
+        assert "error:" in err
+
+
+class TestBaselineFlow:
+    def test_update_then_clean_then_stale(self, fixtures, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        bad = fixtures / "parity_bad"
+        code, _, err = _run(bad, baseline, config=PARITY_CONFIG,
+                            update_baseline=True)
+        assert code == 0
+        assert "3 finding(s) accepted" in err
+
+        # Same tree, baseline accepted: clean exit.
+        code, out, _ = _run(bad, baseline, config=PARITY_CONFIG)
+        assert code == 0
+        assert out == ""
+
+        # --show-baselined surfaces the accepted findings.
+        code, out, _ = _run(bad, baseline, config=PARITY_CONFIG,
+                            show_baselined=True)
+        assert code == 0
+        assert "[baselined]" in out
+
+        # A fixed tree makes those entries stale: nonzero again.
+        code, out, err = _run(fixtures / "parity_good", baseline,
+                              config=PARITY_CONFIG)
+        assert code == 1
+        assert "stale baseline entry" in out
+        assert "3 stale" in err
+
+    def test_json_format(self, fixtures, tmp_path):
+        code, out, _ = _run(fixtures / "parity_bad",
+                            tmp_path / "baseline.json",
+                            config=PARITY_CONFIG, out_format="json")
+        assert code == 1
+        report = json.loads(out)
+        assert report["ok"] is False
+        assert len(report["new"]) == 3
+        assert report["baselined"] == [] and report["stale"] == []
+        assert {"file", "line", "checker", "message"} <= set(report["new"][0])
+
+
+class TestCliFrontend:
+    def test_lint_subcommand_seeded_violations(self, tmp_path, capsys):
+        tree = tmp_path / "src"
+        _seed_violating_tree(tree)
+        code = cli_main(["lint", "--src", str(tree),
+                         "--baseline", str(tmp_path / "baseline.json")])
+        out = capsys.readouterr().out
+        assert code == 1
+        assert "has no 'bit_pivot_phase' twin" in out
+        assert "bit_hot_scan" in out and "set() call" in out
+        assert "rogue_knob" in out
+
+    def test_lint_subcommand_update_baseline(self, tmp_path, capsys):
+        tree = tmp_path / "src"
+        _seed_violating_tree(tree)
+        baseline = tmp_path / "baseline.json"
+        assert cli_main(["lint", "--src", str(tree),
+                         "--baseline", str(baseline),
+                         "--update-baseline"]) == 0
+        assert cli_main(["lint", "--src", str(tree),
+                         "--baseline", str(baseline)]) == 0
+        capsys.readouterr()
+
+
+class TestLiveTree:
+    def test_shipped_src_lints_clean(self):
+        assert run_lint(DEFAULT_SRC, DEFAULT_CONFIG) == []
+
+    def test_shipped_src_against_committed_baseline(self):
+        code, out, _ = _run(DEFAULT_SRC, DEFAULT_BASELINE)
+        assert code == 0
+        assert out == ""

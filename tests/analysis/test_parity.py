@@ -1,0 +1,56 @@
+"""The backend-twin parity checker against good and bad fixture trees."""
+
+from repro.analysis.checkers import parity
+from repro.analysis.config import LintConfig
+from repro.analysis.index import ModuleIndex
+from repro.analysis.runner import run_lint
+
+CONFIG = LintConfig(
+    set_modules=("phases",),
+    bit_modules=("bit_phases",),
+)
+
+
+def _messages(fixtures, tree, config=CONFIG):
+    index = ModuleIndex.build(fixtures / tree)
+    return [f.message for f in parity.check(index, config)]
+
+
+class TestParityBad:
+    def test_missing_bit_twin_flagged(self, fixtures):
+        messages = _messages(fixtures, "parity_bad")
+        assert any("'pivot_phase' has no 'bit_pivot_phase' twin" in m
+                   for m in messages)
+
+    def test_reordered_signature_flagged(self, fixtures):
+        messages = _messages(fixtures, "parity_bad")
+        assert any("not signature-compatible" in m and "bit_rcd_phase" in m
+                   for m in messages)
+
+    def test_orphan_bit_engine_flagged(self, fixtures):
+        messages = _messages(fixtures, "parity_bad")
+        assert any("'bit_orphan_phase' has no set-backend twin" in m
+                   for m in messages)
+
+    def test_private_and_ctx_free_functions_exempt(self, fixtures):
+        messages = " ".join(_messages(fixtures, "parity_bad"))
+        assert "_private_helper" not in messages
+        assert "no_ctx_function" not in messages
+
+    def test_exactly_the_expected_findings(self, fixtures):
+        assert len(_messages(fixtures, "parity_bad")) == 3
+
+
+class TestParityGood:
+    def test_interleaved_extras_are_compatible(self, fixtures):
+        # The raw checker sees only the (pragma'd) oracle: the twins with
+        # interleaved extra params pass the subsequence rule.
+        index = ModuleIndex.build(fixtures / "parity_good")
+        findings = parity.check(index, CONFIG)
+        assert len(findings) == 1
+        assert "bit_oracle_phase" in findings[0].message
+
+    def test_pragma_suppresses_the_oracle(self, fixtures):
+        findings = run_lint(fixtures / "parity_good", CONFIG,
+                            checkers={"parity": parity.check})
+        assert findings == []

@@ -46,9 +46,11 @@ class TestEnumerate:
         assert main(["count", "--dataset", "WE", "-a", "rdegen"]) == 0
         assert "cliques" in capsys.readouterr().out
 
-    def test_missing_input_errors(self):
-        with pytest.raises(SystemExit):
-            main(["enumerate"])
+    def test_missing_input_errors(self, capsys):
+        # Exit code 2 + one-line message, like every other user error
+        # (the old bare SystemExit exited 1 and bypassed the convention).
+        assert main(["enumerate"]) == 2
+        assert capsys.readouterr().err.startswith("error:")
 
     def test_graph_file_plus_dataset_exits_2(self, graph_file, capsys):
         # Regression: the file used to be silently ignored under --dataset.
@@ -155,6 +157,26 @@ class TestJobsFlag:
         assert err.startswith("error:")
         assert "--jobs" in err
         assert len(err.strip().splitlines()) == 1
+
+    @pytest.mark.parametrize("flag,value", [
+        ("--cost-model", "uniform"),
+        ("--chunks-per-worker", "4"),
+    ])
+    def test_parallel_only_flags_without_jobs_exit_2(
+            self, graph_file, capsys, flag, value):
+        assert main(["enumerate", graph_file, flag, value]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:")
+        assert flag in err and "--jobs" in err
+
+    def test_cost_model_and_chunks_per_worker_with_jobs(
+            self, graph_file, capsys):
+        assert main(["enumerate", graph_file]) == 0
+        serial = capsys.readouterr().out
+        assert main(["enumerate", graph_file, "--jobs", "2",
+                     "--cost-model", "uniform",
+                     "--chunks-per-worker", "2"]) == 0
+        assert capsys.readouterr().out == serial
 
     def test_jobs_documented_in_help(self, capsys):
         with pytest.raises(SystemExit):
