@@ -41,6 +41,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import os
 import pathlib
 import platform
@@ -123,6 +124,10 @@ def run(quick: bool, repeats: int, chunk_strategy: str,
             crit = stats.critical_path_seconds
             if base is None:
                 base = crit
+            # work_ratio is nan when the serial baseline rounds to zero
+            # wall time — undefined, not perfect.  JSON has no nan, so
+            # the cell records null and the console prints n/a.
+            work = stats.work_ratio(serial.seconds)
             rows.append({
                 "workers": k,
                 "wall_seconds": round(cell["wall_seconds"], 6),
@@ -130,14 +135,15 @@ def run(quick: bool, repeats: int, chunk_strategy: str,
                 "speedup": round(base / crit, 3) if crit else 0.0,
                 "speedup_vs_serial": round(serial.seconds / crit, 3) if crit else 0.0,
                 "wall_speedup": round(serial.seconds / cell["wall_seconds"], 3),
-                "work_ratio": round(stats.work_ratio(serial.seconds), 3),
+                "work_ratio": None if math.isnan(work) else round(work, 3),
                 "balance_ratio": round(stats.balance_ratio, 4),
                 "n_chunks": stats.n_chunks,
             })
+            work_text = "  n/a" if math.isnan(work) else f"{work:5.2f}x"
             print(f"{name:20s} workers={k}  crit={crit:8.3f}s  "
                   f"scaling={rows[-1]['speedup']:5.2f}x  "
                   f"vs-serial={rows[-1]['speedup_vs_serial']:5.2f}x  "
-                  f"work={rows[-1]['work_ratio']:5.2f}x")
+                  f"work={work_text}")
         families.append({
             "family": name,
             "n": g.n,

@@ -14,7 +14,11 @@ against the cached artifacts and the live pool.  Recorded per cell:
 * ``requests_per_second`` — sustained warm throughput;
 * ``oneshot_seconds`` — ``count_maximal_cliques(g, n_jobs=...)`` on the
   classic one-shot path, which re-pays the prologue every call (what a
-  caller without the service would see per request).
+  caller without the service would see per request);
+* ``request_seconds`` — p50/p90/p99 latency digest read from the
+  service's own ``service_request_seconds`` histogram (every cycle's
+  registry snapshot folded into one accumulator), so the committed
+  baseline carries tail latency, not just the median.
 
 Families mirror the parallel/ET benches: dense Erdős–Rényi (branchy,
 pivot-heavy) and plex-caveman (early-termination-heavy).  Counts are
@@ -48,6 +52,7 @@ if str(_SRC) not in sys.path:
 
 from repro.api import count_maximal_cliques
 from repro.graph.generators import erdos_renyi_gnm, plex_caveman
+from repro.obs import MetricsRegistry
 from repro.service import CliqueService
 
 
@@ -80,6 +85,7 @@ def bench_family(family: str, g, *, n_jobs: int, warm_requests: int,
     cold_samples: list[float] = []
     warm_samples: list[float] = []
     stats = None
+    folded = MetricsRegistry()
     for _ in range(max(1, cold_cycles)):
         with CliqueService(n_jobs=n_jobs) as service:
             service.register(g, name=family)
@@ -98,12 +104,18 @@ def bench_family(family: str, g, *, n_jobs: int, warm_requests: int,
                     "warm request missed the artifact cache"
 
             stats = service.stats()
+            # Fold this lifetime's registry into the bench accumulator:
+            # the percentile digest below spans every cycle's requests.
+            folded.merge_dict(service.metrics_snapshot())
         assert stats["decompose_calls"] == 1, stats
         assert stats["pool_spinups"] <= 1, stats
         assert stats["graph_ships"] <= 1, stats
 
     cold_seconds = statistics.median(cold_samples)
     warm_median = statistics.median(warm_samples)
+    digest = folded.summary("service_request_seconds")
+    assert digest is not None and digest["count"] == len(cold_samples) \
+        + len(warm_samples), digest
     return {
         "family": family,
         "n": g.n,
@@ -120,6 +132,12 @@ def bench_family(family: str, g, *, n_jobs: int, warm_requests: int,
         "requests_per_second": round(len(warm_samples) / sum(warm_samples), 2)
         if warm_samples else 0.0,
         "oneshot_seconds": round(oneshot_seconds, 6),
+        "request_seconds": {
+            "count": digest["count"],
+            "p50": round(digest["p50"], 6),
+            "p90": round(digest["p90"], 6),
+            "p99": round(digest["p99"], 6),
+        },
         "start_method": stats["start_method"],
     }
 
@@ -131,11 +149,14 @@ def run(smoke: bool, n_jobs: int, warm_requests: int) -> dict:
                             warm_requests=warm_requests,
                             cold_cycles=2 if smoke else 3)
         cells.append(cell)
+        pct = cell["request_seconds"]
         print(f"{family:14s} n={cell['n']:4d} m={cell['m']:5d}  "
               f"cold={cell['cold_seconds']:8.4f}s  "
               f"warm={cell['warm_seconds']:8.4f}s  "
               f"x{cell['warm_vs_cold']:6.2f}  "
-              f"{cell['requests_per_second']:7.1f} req/s")
+              f"{cell['requests_per_second']:7.1f} req/s  "
+              f"p50/p90/p99={pct['p50']:.4f}/{pct['p90']:.4f}/"
+              f"{pct['p99']:.4f}s")
     return {
         "experiment": "service",
         "python": platform.python_version(),

@@ -89,6 +89,16 @@ def default_knobs() -> tuple[Knob, ...]:
              notes={"worker": parent_side}),
         Knob("x_aware", api=API_PARAM, cli="--no-x-aware",
              service=SERVICE_REQUEST, worker=WORKER_FIELD),
+        Knob("trace", api=API_PARAM, cli="--trace",
+             service=SERVICE_REQUEST, worker=WORKER_FIELD),
+        Knob("metrics", api=None, cli="--metrics", service=None, worker=None,
+             notes={"api": "library callers read CliqueService.metrics / "
+                           "metrics_snapshot() directly; the flag only "
+                           "binds the HTTP scrape endpoint",
+                    "service": "exposed as the 'metrics' op, not a request "
+                               "field on enumeration ops",
+                    "worker": "workers ship their registry snapshots "
+                              "unconditionally; exposition is parent-side"}),
         Knob("sort", api=API_PARAM, cli=None, service=None, worker=None,
              api_functions=("maximal_cliques",),
              notes={"cli": "the CLI always prints the canonical sorted "

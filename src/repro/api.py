@@ -70,6 +70,7 @@ from repro.core.frameworks import run_hybrid, run_vertex
 from repro.core.result import CliqueCollector, CliqueCounter, CliqueSink
 from repro.exceptions import UnknownAlgorithmError
 from repro.graph.adjacency import Graph
+from repro.obs import Tracer, maybe_span
 
 AlgorithmFn = Callable[..., Counters]
 
@@ -217,6 +218,7 @@ def enumerate_to_sink(
     cost_model: str | None = None,
     chunks_per_worker: int | None = None,
     x_aware: bool | None = None,
+    trace: Tracer | None = None,
     **options,
 ) -> Counters:
     """Stream all maximal cliques of ``g`` into ``sink``.
@@ -229,18 +231,25 @@ def enumerate_to_sink(
     canonical within each subproblem — independent of worker scheduling.
     Parallel subproblems are X-set-aware by default; ``x_aware=False``
     restores the enumerate-then-filter decomposition.
+
+    ``trace=`` takes a :class:`repro.obs.Tracer`: the run contributes its
+    spans (serial — one ``enumerate`` span; parallel — the full
+    decompose/pack/ship/chunk/merge pipeline) and the paper counters land
+    on the trace root.
     """
+    _validate_trace(trace)
     if n_jobs is not None:
         from repro.parallel import CallbackAggregator, run_parallel
 
         aggregator = CallbackAggregator(sink)
         counters = run_parallel(
-            g, aggregator, algorithm=algorithm, n_jobs=n_jobs,
+            g, aggregator, algorithm=algorithm, n_jobs=n_jobs, trace=trace,
             **_parallel_kwargs(chunk_strategy, cost_model, x_aware,
                                chunks_per_worker),
             **options,
         )
-        aggregator.finish()
+        with maybe_span(trace, "merge", mode=aggregator.mode):
+            aggregator.finish()
         return counters
     _reject_serial_parallel_options(chunk_strategy, cost_model, x_aware,
                                     chunks_per_worker)
@@ -253,7 +262,21 @@ def enumerate_to_sink(
             "seed an exclusion set)"
         )
     runner = partial(spec.runner, **options) if options else spec.runner
-    return runner(g, sink)
+    if trace is None:
+        return runner(g, sink)
+    with trace.span("enumerate", algorithm=algorithm):
+        counters = runner(g, sink)
+    trace.annotate(counters=counters.as_dict())
+    return counters
+
+
+def _validate_trace(trace: Tracer | None) -> None:
+    if trace is not None and not isinstance(trace, Tracer):
+        from repro.exceptions import InvalidParameterError
+
+        raise InvalidParameterError(
+            f"trace must be a repro.obs.Tracer or None, got {trace!r}"
+        )
 
 
 def _parallel_kwargs(chunk_strategy: str | None, cost_model: str | None,
@@ -296,6 +319,7 @@ def maximal_cliques(
     cost_model: str | None = None,
     chunks_per_worker: int | None = None,
     x_aware: bool | None = None,
+    trace: Tracer | None = None,
     **options,
 ) -> list[tuple[int, ...]]:
     """All maximal cliques of ``g`` as a list of vertex tuples.
@@ -310,7 +334,8 @@ def maximal_cliques(
     enumerate_to_sink(
         g, collector, algorithm=algorithm, n_jobs=n_jobs,
         chunk_strategy=chunk_strategy, cost_model=cost_model,
-        chunks_per_worker=chunks_per_worker, x_aware=x_aware, **options,
+        chunks_per_worker=chunks_per_worker, x_aware=x_aware, trace=trace,
+        **options,
     )
     if sort:
         return collector.sorted_cliques()
@@ -326,6 +351,7 @@ def count_maximal_cliques(
     cost_model: str | None = None,
     chunks_per_worker: int | None = None,
     x_aware: bool | None = None,
+    trace: Tracer | None = None,
     **options,
 ) -> int:
     """Number of maximal cliques of ``g`` (O(1) memory beyond the run).
@@ -338,16 +364,17 @@ def count_maximal_cliques(
 
         aggregator = CountAggregator()
         run_parallel(
-            g, aggregator, algorithm=algorithm, n_jobs=n_jobs,
+            g, aggregator, algorithm=algorithm, n_jobs=n_jobs, trace=trace,
             **_parallel_kwargs(chunk_strategy, cost_model, x_aware,
                                chunks_per_worker),
             **options,
         )
-        return aggregator.finish()
+        with maybe_span(trace, "merge", mode=aggregator.mode):
+            return aggregator.finish()
     _reject_serial_parallel_options(chunk_strategy, cost_model, x_aware,
                                     chunks_per_worker)
     counter = CliqueCounter()
-    enumerate_to_sink(g, counter, algorithm=algorithm, **options)
+    enumerate_to_sink(g, counter, algorithm=algorithm, trace=trace, **options)
     return counter.count
 
 
@@ -360,6 +387,7 @@ def run_with_report(
     cost_model: str | None = None,
     chunks_per_worker: int | None = None,
     x_aware: bool | None = None,
+    trace: Tracer | None = None,
     **options,
 ) -> RunReport:
     """Run an algorithm and return timing + counters (benchmark building block).
@@ -374,17 +402,19 @@ def run_with_report(
 
         aggregator = CountAggregator()
         counters = run_parallel(
-            g, aggregator, algorithm=algorithm, n_jobs=n_jobs,
+            g, aggregator, algorithm=algorithm, n_jobs=n_jobs, trace=trace,
             **_parallel_kwargs(chunk_strategy, cost_model, x_aware,
                                chunks_per_worker),
             **options,
         )
-        count = aggregator.finish()
+        with maybe_span(trace, "merge", mode=aggregator.mode):
+            count = aggregator.finish()
     else:
         _reject_serial_parallel_options(chunk_strategy, cost_model, x_aware,
                                         chunks_per_worker)
         counter = CliqueCounter()
-        counters = enumerate_to_sink(g, counter, algorithm=algorithm, **options)
+        counters = enumerate_to_sink(g, counter, algorithm=algorithm,
+                                     trace=trace, **options)
         count = counter.count
     elapsed = time.perf_counter() - start
     return RunReport(

@@ -14,6 +14,7 @@ from repro.api import enumerate_to_sink
 from repro.core.counters import Counters
 from repro.core.result import CliqueCounter
 from repro.graph.adjacency import Graph
+from repro.obs import MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -27,11 +28,16 @@ class Measurement:
     counters: Counters
 
 
-def measure(g: Graph, algorithm: str, *, repeats: int = 1, **options) -> Measurement:
+def measure(g: Graph, algorithm: str, *, repeats: int = 1,
+            registry: MetricsRegistry | None = None,
+            **options) -> Measurement:
     """Run ``algorithm`` on ``g`` ``repeats`` times; keep the fastest run.
 
     The clique stream goes to a counting sink so memory stays flat even on
-    the clique-heavy proxies.
+    the clique-heavy proxies.  When ``registry`` is given, every repeat's
+    wall time — not just the kept best — is observed into the
+    ``bench_run_seconds{algorithm=...}`` histogram, so harnesses get
+    latency percentiles across repeats for free.
     """
     best_seconds = float("inf")
     best_counter = CliqueCounter()
@@ -41,6 +47,10 @@ def measure(g: Graph, algorithm: str, *, repeats: int = 1, **options) -> Measure
         start = time.perf_counter()
         counters = enumerate_to_sink(g, counter, algorithm=algorithm, **options)
         elapsed = time.perf_counter() - start
+        if registry is not None:
+            registry.histogram(
+                "bench_run_seconds",
+                labels={"algorithm": algorithm}).observe(elapsed)
         # seconds, cliques and counters must describe the *same* run, so
         # snapshot all three whenever a repeat sets a new best time.
         if elapsed < best_seconds:

@@ -33,6 +33,7 @@ from repro.graph.adjacency import Graph
 from repro.graph.generators import DATASET_NAMES, load_dataset, paper_stats
 from repro.graph.io import load_graph
 from repro.graph.metrics import graph_stats
+from repro.obs import Tracer
 from repro.verify import verify_enumeration
 
 
@@ -143,6 +144,26 @@ def _parallel_options(args: argparse.Namespace) -> dict:
     return options
 
 
+def _start_trace(args: argparse.Namespace, op: str) -> Tracer | None:
+    """A tracer when ``--trace PATH`` was given, else ``None``."""
+    if args.trace is None:
+        return None
+    return Tracer(op, algorithm=args.algorithm)
+
+
+def _dump_trace(args: argparse.Namespace, tracer: Tracer | None) -> None:
+    """Write the finished span tree as JSON to the ``--trace`` path."""
+    if tracer is None:
+        return
+    import json
+
+    tracer.finish()
+    with open(args.trace, "w", encoding="utf-8") as fh:
+        json.dump(tracer.to_dict(), fh, indent=2, sort_keys=True)
+        fh.write("\n")
+    print(f"trace written to {args.trace}", file=sys.stderr)
+
+
 def cmd_enumerate(args: argparse.Namespace) -> int:
     if args.limit is not None and args.limit < 0:
         # A negative limit would silently slice cliques off the *end* and
@@ -152,8 +173,10 @@ def cmd_enumerate(args: argparse.Namespace) -> int:
         )
     parallel = _parallel_options(args)
     g = _load(args)
-    cliques = maximal_cliques(g, algorithm=args.algorithm,
+    tracer = _start_trace(args, "enumerate")
+    cliques = maximal_cliques(g, algorithm=args.algorithm, trace=tracer,
                               **_backend_options(args), **parallel)
+    _dump_trace(args, tracer)
     limit = args.limit if args.limit is not None else len(cliques)
     for clique in cliques[:limit]:
         print(" ".join(map(str, clique)))
@@ -164,15 +187,20 @@ def cmd_enumerate(args: argparse.Namespace) -> int:
 
 
 def cmd_count(args: argparse.Namespace) -> int:
+    if args.all and args.trace is not None:
+        raise InvalidParameterError(
+            "--trace records one request; it cannot be combined with --all"
+        )
     parallel = _parallel_options(args)
     # Flag-combination errors are user errors even under --all (the skip
     # path below is for genuine per-algorithm incompatibilities).
     backend_options = _backend_options(args)
     g = _load(args)
+    tracer = _start_trace(args, "count")
     names = sorted(ALGORITHMS) if args.all else [args.algorithm]
     for name in names:
         try:
-            report = run_with_report(g, algorithm=name,
+            report = run_with_report(g, algorithm=name, trace=tracer,
                                      **backend_options, **parallel)
         except InvalidParameterError as exc:
             if not args.all:
@@ -181,6 +209,7 @@ def cmd_count(args: argparse.Namespace) -> int:
             continue
         print(f"{name:16s} {report.clique_count:10d} cliques  "
               f"{report.seconds:8.3f}s  {report.counters.total_calls:10d} calls")
+    _dump_trace(args, tracer)
     return 0
 
 
@@ -243,7 +272,12 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from a co-process); ``--port`` switches to TCP (``--port 0`` binds an
     ephemeral port, announced on stderr).
     """
-    from repro.service import CliqueService, serve_stdio, serve_tcp
+    from repro.service import (
+        CliqueService,
+        serve_metrics_http,
+        serve_stdio,
+        serve_tcp,
+    )
 
     n_jobs = parse_jobs(args.jobs) if args.jobs is not None else 1
     if args.format is not None and not args.graph:
@@ -257,6 +291,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         chunks_per_worker=args.chunks_per_worker
         if args.chunks_per_worker is not None else 1,
     )
+    metrics_server = None
     try:
         for code in args.dataset or []:
             info = service.register_dataset(code)
@@ -266,6 +301,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
             info = service.register_file(path, fmt=args.format)
             print(f"registered {path} as {info['name']} "
                   f"({info['graph'][:12]})", file=sys.stderr)
+        if args.metrics is not None:
+            def announce_metrics(address):
+                print(f"metrics on http://{address[0]}:{address[1]}/metrics",
+                      file=sys.stderr, flush=True)
+
+            metrics_server = serve_metrics_http(
+                service, host=args.host, port=args.metrics,
+                ready=announce_metrics)
         if args.port is not None:
             def announce(address):
                 print(f"listening on {address[0]}:{address[1]}",
@@ -275,6 +318,9 @@ def cmd_serve(args: argparse.Namespace) -> int:
                              ready=announce)
         return serve_stdio(service)
     finally:
+        if metrics_server is not None:
+            metrics_server.shutdown()
+            metrics_server.server_close()
         service.close()
 
 
@@ -308,12 +354,18 @@ def build_parser() -> argparse.ArgumentParser:
     _add_graph_arguments(p)
     p.add_argument("--limit", type=int, default=None,
                    help="print at most this many cliques")
+    p.add_argument("--trace", metavar="PATH", default=None,
+                   help="write the request's span tree (decompose, pack, "
+                        "ship, per-chunk enumerate, merge) as JSON")
     p.set_defaults(fn=cmd_enumerate)
 
     p = sub.add_parser("count", help="count maximal cliques")
     _add_graph_arguments(p)
     p.add_argument("--all", action="store_true",
                    help="run every registered algorithm")
+    p.add_argument("--trace", metavar="PATH", default=None,
+                   help="write the request's span tree as JSON "
+                        "(incompatible with --all)")
     p.set_defaults(fn=cmd_count)
 
     p = sub.add_parser("stats", help="graph statistics (Table I columns)")
@@ -337,6 +389,9 @@ def build_parser() -> argparse.ArgumentParser:
                         "announced on stderr; default: stdio)")
     p.add_argument("--host", default="127.0.0.1",
                    help="TCP bind address (default: 127.0.0.1)")
+    p.add_argument("--metrics", type=int, default=None, metavar="PORT",
+                   help="also serve Prometheus text metrics over HTTP on "
+                        "this port (0 = ephemeral, announced on stderr)")
     p.add_argument("--jobs", metavar="N", default=None,
                    help="worker processes for the warm pool (positive "
                         "integer; default: 1 = in-process)")

@@ -1,0 +1,52 @@
+"""Unified telemetry: metrics registry, tracing spans, worker timelines.
+
+The one instrumentation layer every other subsystem composes on top of:
+
+* :mod:`repro.obs.metrics` — :class:`MetricsRegistry` with counters,
+  gauges and fixed-bucket latency histograms (p50/p90/p99), associative
+  merging for per-worker fold-in, and Prometheus text exposition;
+* :mod:`repro.obs.trace` — :class:`Tracer`/:class:`Span` context
+  managers with ids and parents that cross process boundaries as
+  :class:`TraceContext` values and come back as grafted span records;
+* :mod:`repro.obs.timeline` — :class:`WorkerTimelineEvent` per-chunk
+  execution records and the per-worker skew summary.
+
+Deliberately a leaf package: it imports nothing from the engine, pool or
+service layers, so any of them (and the bench) can depend on it without
+cycles.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    render_text,
+)
+from repro.obs.timeline import WorkerTimelineEvent, timeline_summary
+from repro.obs.trace import (
+    Span,
+    TraceContext,
+    Tracer,
+    find_spans,
+    maybe_span,
+    span_record,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "render_text",
+    "Span",
+    "TraceContext",
+    "Tracer",
+    "WorkerTimelineEvent",
+    "find_spans",
+    "maybe_span",
+    "span_record",
+    "timeline_summary",
+]

@@ -1,0 +1,351 @@
+"""Metrics primitives: counters, gauges and fixed-bucket histograms.
+
+One :class:`MetricsRegistry` per process (the service owns one; each
+worker builds a small one per chunk) holding named instruments, every one
+of them *mergeable*: counters add, gauges last-write win, histograms add
+bucket-wise.  Merging is associative, so per-worker registries fold into
+the parent in any arrival order and the result is identical — the same
+contract the deterministic clique merge already makes for results.
+
+Instruments carry optional Prometheus-style labels
+(``histogram("request_seconds", labels={"op": "count"})``); an
+instrument's identity is ``(name, sorted labels)``, rendered as
+``request_seconds{op="count"}`` in the exposition and in
+:meth:`MetricsRegistry.as_dict` keys.  Snapshots are plain JSON dicts, so
+a registry can cross a process boundary without pickling any live object
+(:meth:`MetricsRegistry.merge_dict` folds a snapshot back in).
+
+Histograms use fixed upper-bound buckets (latency-shaped by default) and
+answer quantile queries by linear interpolation inside the bucket that
+crosses the target rank — the classic Prometheus ``histogram_quantile``
+construction, so the in-process percentiles and anything a scraper would
+compute agree.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+
+from repro.exceptions import InvalidParameterError
+
+#: Default histogram boundaries: latency-shaped, 500 microseconds to 10 s.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+
+class Counter:
+    """A monotonically increasing integer (e.g. requests served)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise InvalidParameterError(
+                f"counters are monotonic; cannot add {amount}"
+            )
+        self.value += amount
+
+    def merge(self, other: "Counter") -> None:
+        self.value += other.value
+
+
+class Gauge:
+    """A point-in-time value (e.g. registered graphs, pool liveness)."""
+
+    __slots__ = ("value", "updated")
+
+    def __init__(self) -> None:
+        self.value = 0.0
+        self.updated = False
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+        self.updated = True
+
+    def merge(self, other: "Gauge") -> None:
+        # Last-write-wins, which keeps the merge associative: the value
+        # survives iff *some* registry in the fold chain ever set it.
+        if other.updated:
+            self.value = other.value
+            self.updated = True
+
+
+class Histogram:
+    """Fixed-bucket latency histogram with interpolated percentiles.
+
+    ``buckets`` are inclusive upper bounds in strictly increasing order;
+    an implicit ``+Inf`` bucket catches the overflow.  Observations only
+    touch one bucket counter, so the hot path is a ``bisect`` plus three
+    adds.
+    """
+
+    __slots__ = ("buckets", "counts", "total", "sum")
+
+    def __init__(self, buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        bounds = tuple(float(b) for b in buckets)
+        if not bounds or any(b2 <= b1 for b1, b2 in zip(bounds, bounds[1:])):
+            raise InvalidParameterError(
+                f"histogram buckets must be strictly increasing and "
+                f"non-empty, got {buckets!r}"
+            )
+        self.buckets = bounds
+        self.counts = [0] * (len(bounds) + 1)  # last slot is +Inf
+        self.total = 0
+        self.sum = 0.0
+
+    def observe(self, value: float) -> None:
+        self.counts[bisect_left(self.buckets, value)] += 1
+        self.total += 1
+        self.sum += value
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else float("nan")
+
+    def percentile(self, q: float) -> float:
+        """Interpolated quantile estimate, ``q`` in [0, 1].
+
+        Observations beyond the last finite bound clamp to that bound
+        (the scraper-side ``histogram_quantile`` convention); an empty
+        histogram answers ``nan``.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise InvalidParameterError(f"quantile must be in [0, 1], got {q}")
+        if self.total == 0:
+            return float("nan")
+        target = q * self.total
+        cumulative = 0
+        lower = 0.0
+        for upper, count in zip(self.buckets, self.counts):
+            if count and cumulative + count >= target:
+                fraction = (target - cumulative) / count
+                return lower + (upper - lower) * max(fraction, 0.0)
+            cumulative += count
+            lower = upper
+        return self.buckets[-1]
+
+    def summary(self) -> dict:
+        """The JSON-facing digest: count, sum and the three headline tails."""
+        return {
+            "count": self.total,
+            "sum": self.sum,
+            "p50": self.percentile(0.50),
+            "p90": self.percentile(0.90),
+            "p99": self.percentile(0.99),
+        }
+
+    def merge(self, other: "Histogram") -> None:
+        if other.buckets != self.buckets:
+            raise InvalidParameterError(
+                "cannot merge histograms with different bucket boundaries"
+            )
+        for i, count in enumerate(other.counts):
+            self.counts[i] += count
+        self.total += other.total
+        self.sum += other.sum
+
+
+def _key(name: str, labels: dict | None) -> str:
+    """Canonical instrument key: ``name`` or ``name{a="x",b="y"}``."""
+    if not labels:
+        return name
+    inner = ",".join(f'{k}="{labels[k]}"' for k in sorted(labels))
+    return f"{name}{{{inner}}}"
+
+
+def _key_name(key: str) -> str:
+    """The bare metric name of a canonical key (labels stripped)."""
+    brace = key.find("{")
+    return key if brace < 0 else key[:brace]
+
+
+class MetricsRegistry:
+    """A named collection of instruments with associative merging.
+
+    ``counter``/``gauge``/``histogram`` create on first use and return
+    the live instrument afterwards; asking for an existing name with a
+    different instrument kind (or different histogram buckets) is an
+    error, never a silent reset.
+    """
+
+    def __init__(self) -> None:
+        self._instruments: dict[str, Counter | Gauge | Histogram] = {}
+        self._kinds: dict[str, str] = {}  # bare name -> kind
+
+    # ------------------------------------------------------------------
+    # Instrument accessors
+    # ------------------------------------------------------------------
+    def _get(self, kind: str, name: str, labels: dict | None, factory):
+        bare = _key_name(name)
+        if bare != name:
+            raise InvalidParameterError(
+                f"labels belong in the labels= mapping, not the name "
+                f"({name!r})"
+            )
+        known = self._kinds.get(name)
+        if known is not None and known != kind:
+            raise InvalidParameterError(
+                f"metric {name!r} is already registered as a {known}"
+            )
+        key = _key(name, labels)
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = factory()
+            self._instruments[key] = instrument
+            self._kinds[name] = kind
+        return instrument
+
+    def counter(self, name: str, *, labels: dict | None = None) -> Counter:
+        return self._get("counter", name, labels, Counter)
+
+    def gauge(self, name: str, *, labels: dict | None = None) -> Gauge:
+        return self._get("gauge", name, labels, Gauge)
+
+    def histogram(self, name: str, *, labels: dict | None = None,
+                  buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> Histogram:
+        h = self._get("histogram", name, labels, lambda: Histogram(buckets))
+        if h.buckets != tuple(float(b) for b in buckets):
+            raise InvalidParameterError(
+                f"metric {name!r} already uses buckets {h.buckets}"
+            )
+        return h
+
+    def fold_counters(self, counters, *, prefix: str = "mce_") -> None:
+        """Fold a paper :class:`repro.core.counters.Counters` (or its
+        ``as_dict()`` snapshot) into ``<prefix><field>_total`` counters.
+
+        This is how the engines' per-run work counters become registry
+        metrics without touching the engine hot paths: the dataclass
+        stays the in-loop accumulator, the registry is the composition
+        and exposition layer on top.
+        """
+        snapshot = counters if isinstance(counters, dict) else counters.as_dict()
+        for field, value in snapshot.items():
+            self.counter(f"{prefix}{field}_total").inc(value)
+
+    # ------------------------------------------------------------------
+    # Snapshots and merging
+    # ------------------------------------------------------------------
+    def as_dict(self) -> dict:
+        """JSON-safe snapshot, keyed by canonical instrument key."""
+        out: dict[str, dict] = {"counters": {}, "gauges": {}, "histograms": {}}
+        for key, inst in sorted(self._instruments.items()):
+            if isinstance(inst, Counter):
+                out["counters"][key] = inst.value
+            elif isinstance(inst, Gauge):
+                out["gauges"][key] = inst.value
+            else:
+                out["histograms"][key] = {
+                    "buckets": list(inst.buckets),
+                    "counts": list(inst.counts),
+                    **inst.summary(),
+                }
+        return out
+
+    def merge(self, other: "MetricsRegistry") -> "MetricsRegistry":
+        """Fold another registry in (associative); returns ``self``."""
+        for key, inst in other._instruments.items():
+            name = _key_name(key)
+            kind = other._kinds[name]
+            known = self._kinds.get(name)
+            if known is not None and known != kind:
+                # Checked before looking the instrument up, so a kind
+                # clash on an *existing* key errors instead of silently
+                # merging a gauge into a counter.
+                raise InvalidParameterError(
+                    f"metric {name!r} is already registered as a {known}"
+                )
+            mine = self._instruments.get(key)
+            if mine is None:
+                if isinstance(inst, Histogram):
+                    mine = Histogram(inst.buckets)
+                else:
+                    mine = type(inst)()
+                self._instruments[key] = mine
+                self._kinds[name] = kind
+            mine.merge(inst)
+        return self
+
+    def merge_dict(self, snapshot: dict) -> "MetricsRegistry":
+        """Fold an :meth:`as_dict` snapshot in (the cross-process path)."""
+        other = MetricsRegistry()
+        for key, value in snapshot.get("counters", {}).items():
+            other._instruments[key] = c = Counter()
+            other._kinds[_key_name(key)] = "counter"
+            c.value = int(value)
+        for key, value in snapshot.get("gauges", {}).items():
+            other._instruments[key] = g = Gauge()
+            other._kinds[_key_name(key)] = "gauge"
+            g.set(value)
+        for key, data in snapshot.get("histograms", {}).items():
+            h = Histogram(tuple(data["buckets"]))
+            h.counts = [int(c) for c in data["counts"]]
+            h.total = int(data["count"])
+            h.sum = float(data["sum"])
+            other._instruments[key] = h
+            other._kinds[_key_name(key)] = "histogram"
+        return self.merge(other)
+
+    def summary(self, name: str) -> dict | None:
+        """Label-merged digest of every histogram named ``name``.
+
+        ``None`` when no such histogram exists — the caller decides
+        whether absence is an error.
+        """
+        merged: Histogram | None = None
+        for key, inst in self._instruments.items():
+            if isinstance(inst, Histogram) and _key_name(key) == name:
+                if merged is None:
+                    merged = Histogram(inst.buckets)
+                merged.merge(inst)
+        return merged.summary() if merged is not None else None
+
+    def value(self, key: str) -> float:
+        """Current value of a counter/gauge by canonical key (0 if absent)."""
+        inst = self._instruments.get(key)
+        if inst is None:
+            return 0
+        if isinstance(inst, Histogram):
+            raise InvalidParameterError(
+                f"{key!r} is a histogram; use summary()"
+            )
+        return inst.value
+
+
+def render_text(registry: MetricsRegistry) -> str:
+    """Prometheus text exposition (format 0.0.4) of a registry snapshot.
+
+    Counters render with their ``_total`` name as-is, histograms as the
+    conventional ``_bucket``/``_sum``/``_count`` triplet with cumulative
+    ``le`` buckets.
+    """
+    by_name: dict[str, list[tuple[str, Counter | Gauge | Histogram]]] = {}
+    for key, inst in sorted(registry._instruments.items()):
+        by_name.setdefault(_key_name(key), []).append((key, inst))
+    lines: list[str] = []
+    for name in sorted(by_name):
+        kind = registry._kinds[name]
+        lines.append(f"# TYPE {name} {kind}")
+        for key, inst in by_name[name]:
+            if isinstance(inst, Histogram):
+                label_part = key[len(name):]  # "" or "{...}"
+                inner = label_part[1:-1] if label_part else ""
+                cumulative = 0
+                for upper, count in zip(inst.buckets, inst.counts):
+                    cumulative += count
+                    le = f'le="{upper:g}"'
+                    labels = f"{{{inner},{le}}}" if inner else f"{{{le}}}"
+                    lines.append(f"{name}_bucket{labels} {cumulative}")
+                le = 'le="+Inf"'
+                labels = f"{{{inner},{le}}}" if inner else f"{{{le}}}"
+                lines.append(f"{name}_bucket{labels} {inst.total}")
+                lines.append(f"{name}_sum{label_part} {inst.sum:g}")
+                lines.append(f"{name}_count{label_part} {inst.total}")
+            else:
+                lines.append(f"{key} {inst.value:g}")
+    return "\n".join(lines) + "\n" if lines else ""

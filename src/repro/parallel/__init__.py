@@ -46,6 +46,7 @@ from repro.parallel.scheduler import (
     DEFAULT_CHUNK_STRATEGY,
     Chunk,
     balance_ratio,
+    chunk_summary,
     make_chunks,
 )
 
@@ -73,5 +74,6 @@ __all__ = [
     "DEFAULT_CHUNK_STRATEGY",
     "Chunk",
     "balance_ratio",
+    "chunk_summary",
     "make_chunks",
 ]

@@ -24,6 +24,8 @@ from typing import Iterable
 
 from repro.core.counters import Counters
 from repro.core.result import CliqueSink
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeline import WorkerTimelineEvent
 
 
 @dataclass
@@ -34,17 +36,26 @@ class ChunkResult:
     list of cliques (collect mode) or a ``(count, max_size, total_vertices)``
     triple (count mode).  ``cpu_seconds`` is the worker-side
     ``time.process_time`` spent on the chunk — immune to time-sharing, it
-    feeds the benchmark's critical-path accounting.
+    feeds the benchmark's critical-path accounting.  ``worker``/``started``
+    /``finished`` locate the execution on the shared wall-clock axis (the
+    timeline), ``metrics`` is the worker-side registry snapshot folded
+    into the parent, and ``span`` is the pre-built trace span record when
+    the request shipped a trace context.
     """
 
     chunk_index: int
     items: list[tuple[int, object]]
     counters: dict = field(default_factory=dict)
     cpu_seconds: float = 0.0
+    worker: str = ""
+    started: float = 0.0
+    finished: float = 0.0
+    metrics: dict | None = None
+    span: dict | None = None
 
 
 class Aggregator:
-    """Base: accumulates counters and per-chunk timing for every sink."""
+    """Base: accumulates counters, timing and telemetry for every sink."""
 
     #: payload the workers should produce: "collect" or "count"
     mode = "collect"
@@ -52,6 +63,9 @@ class Aggregator:
     def __init__(self) -> None:
         self.counters = Counters()
         self.chunk_cpu_seconds: dict[int, float] = {}
+        self.timeline: list[WorkerTimelineEvent] = []
+        self.spans: list[dict] = []
+        self.metrics = MetricsRegistry()
         self.expected = 0
         self.received = 0
 
@@ -63,6 +77,18 @@ class Aggregator:
     def accept(self, result: ChunkResult) -> None:
         """Fold one chunk result in (called in arrival order)."""
         self.chunk_cpu_seconds[result.chunk_index] = result.cpu_seconds
+        self.timeline.append(WorkerTimelineEvent(
+            worker_id=result.worker,
+            chunk_id=result.chunk_index,
+            start=result.started,
+            end=result.finished,
+            cpu_seconds=result.cpu_seconds,
+            counters=dict(result.counters),
+        ))
+        if result.metrics is not None:
+            self.metrics.merge_dict(result.metrics)
+        if result.span is not None:
+            self.spans.append(result.span)
         if result.counters:
             self.counters.merge(Counters(**result.counters))
         for position, payload in result.items:

@@ -35,6 +35,9 @@ from dataclasses import dataclass, field
 from repro.core.counters import Counters
 from repro.exceptions import InvalidParameterError
 from repro.graph.adjacency import Graph
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeline import WorkerTimelineEvent
+from repro.obs.trace import TraceContext, Tracer, maybe_span, span_record
 from repro.parallel.aggregate import Aggregator, ChunkResult, count_payload
 from repro.parallel.decompose import (
     DEFAULT_COST_MODEL,
@@ -46,6 +49,7 @@ from repro.parallel.scheduler import (
     DEFAULT_CHUNK_STRATEGY,
     Chunk,
     balance_ratio,
+    chunk_summary,
     make_chunks,
 )
 
@@ -103,12 +107,19 @@ class GraphState:
 
 @dataclass(frozen=True)
 class RequestConfig:
-    """The light per-request knobs shipped with every chunk task."""
+    """The light per-request knobs shipped with every chunk task.
+
+    ``trace`` is the parent's trace position (trace id + owning span id)
+    when the request wants per-chunk spans back; ``None`` keeps the
+    worker's span construction off (timeline events are always recorded —
+    they are two clock reads).
+    """
 
     algorithm: str
     options: dict
     mode: str  # "collect" or "count"
     x_aware: bool = True
+    trace: TraceContext | None = None
 
 
 @dataclass
@@ -135,6 +146,9 @@ class ParallelStats:
     chunk_costs: list[float] = field(default_factory=list)
     chunk_sizes: list[int] = field(default_factory=list)
     chunk_cpu_seconds: dict[int, float] = field(default_factory=dict)
+    #: per-chunk execution records (worker id, wall start/end, CPU,
+    #: branch counters) — see :mod:`repro.obs.timeline`.
+    timeline: list[WorkerTimelineEvent] = field(default_factory=list)
 
     @property
     def total_cpu_seconds(self) -> float:
@@ -151,12 +165,14 @@ class ParallelStats:
         """Total partitioned CPU over the monolithic serial wall time.
 
         1.0 means the partition did exactly the serial run's work; values
-        above 1 measure duplicated branches plus per-subproblem prologues
-        (0.0 when ``serial_seconds`` is not positive).  This is the single
-        source of truth the scaling benchmark records.
+        above 1 measure duplicated branches plus per-subproblem prologues.
+        A non-positive ``serial_seconds`` yields ``nan``: the ratio is
+        *unknown*, and the old 0.0 sentinel read as "perfect" in reports
+        (renderers show ``n/a`` instead).  This is the single source of
+        truth the scaling benchmark records.
         """
         return self.total_cpu_seconds / serial_seconds \
-            if serial_seconds > 0 else 0.0
+            if serial_seconds > 0 else float("nan")
 
 
 def validate_n_jobs(n_jobs) -> int:
@@ -188,7 +204,17 @@ def parse_jobs(text: str) -> int:
 def _solve_chunk(
     graph_state: GraphState, config: RequestConfig, chunk: Chunk
 ) -> ChunkResult:
-    """Run every subproblem of one chunk; shared by workers and inline mode."""
+    """Run every subproblem of one chunk; shared by workers and inline mode.
+
+    Beyond the clique payload, every chunk ships its telemetry: wall
+    start/end plus CPU time (the timeline event), a worker-side metrics
+    registry snapshot (chunk CPU histogram labelled by worker, branch
+    counters folded as ``mce_*_total``), and — when the request carries a
+    trace context — a span record parented on the parent's enumerate
+    span.  Per-chunk cost is a handful of clock reads and one small dict.
+    """
+    worker = multiprocessing.current_process().name
+    started = time.time()
     cpu_start = time.process_time()
     items: list[tuple[int, object]] = []
     counters = Counters()
@@ -206,11 +232,33 @@ def _solve_chunk(
         counters.merge(sub_counters)
         payload = count_payload(cliques) if config.mode == "count" else cliques
         items.append((p, payload))
+    cpu_seconds = time.process_time() - cpu_start
+    finished = time.time()
+    registry = MetricsRegistry()
+    registry.histogram("worker_chunk_cpu_seconds",
+                       labels={"worker": worker}).observe(cpu_seconds)
+    registry.counter("worker_chunks_total",
+                     labels={"worker": worker}).inc()
+    registry.fold_counters(counters)
+    span = None
+    if config.trace is not None:
+        span = span_record(
+            "chunk", context=config.trace, span_id=f"chunk{chunk.index}",
+            start=started, seconds=finished - started,
+            worker_id=worker, chunk_id=chunk.index,
+            subproblems=len(chunk.positions), cpu_seconds=cpu_seconds,
+            counters=counters.as_dict(),
+        )
     return ChunkResult(
         chunk_index=chunk.index,
         items=items,
         counters=counters.as_dict(),
-        cpu_seconds=time.process_time() - cpu_start,
+        cpu_seconds=cpu_seconds,
+        worker=worker,
+        started=started,
+        finished=finished,
+        metrics=registry.as_dict(),
+        span=span,
     )
 
 
@@ -347,6 +395,8 @@ class WorkerPool:
         config: RequestConfig,
         chunks: list[Chunk],
         accept,
+        *,
+        tracer: Tracer | None = None,
     ) -> None:
         """Solve ``chunks`` against ``graph_state``, streaming results.
 
@@ -355,6 +405,12 @@ class WorkerPool:
         ``key`` identifies the graph state for the worker-side cache: the
         state is shipped only the first time a key is seen, so repeat
         submits with the same key are pure compute.
+
+        With a ``tracer`` the submit contributes a ``ship`` span (always
+        present so traces have one shape; ``shipped`` records whether a
+        broadcast actually happened) and an ``execute`` span wrapping the
+        fan-out — worker chunk spans are parented on the *caller's*
+        current span via ``config.trace``, not on these.
         """
         if self._closed:
             raise RuntimeError("WorkerPool is closed")
@@ -363,21 +419,32 @@ class WorkerPool:
         if self.n_jobs == 1 \
                 or (self._pool is None and not self.warm and len(chunks) == 1):
             # In-process path: no subprocesses, no shipping, same pipeline.
-            for chunk in chunks:
-                accept(_solve_chunk(graph_state, config, chunk))
+            with maybe_span(tracer, "ship", transport="inline",
+                            shipped=False):
+                pass
+            with maybe_span(tracer, "execute", transport="inline",
+                            n_chunks=len(chunks)):
+                for chunk in chunks:
+                    accept(_solve_chunk(graph_state, config, chunk))
             return
         pool = self._ensure_pool(len(chunks))
-        if key not in self._states:
-            # Barrier broadcast to the live workers: exactly one install
-            # per worker.  Recording the state afterwards keeps any
-            # later-respawned worker consistent (see _init_worker).
-            pool.map(_install_graph, [(key, graph_state)] * self._workers,
-                     chunksize=1)
-            self._states[key] = graph_state
-            self.graph_ships += 1
+        ship_needed = key not in self._states
+        with maybe_span(tracer, "ship", transport=self.start_method,
+                        shipped=ship_needed, workers=self._workers):
+            if ship_needed:
+                # Barrier broadcast to the live workers: exactly one
+                # install per worker.  Recording the state afterwards
+                # keeps any later-respawned worker consistent (see
+                # _init_worker).
+                pool.map(_install_graph,
+                         [(key, graph_state)] * self._workers, chunksize=1)
+                self._states[key] = graph_state
+                self.graph_ships += 1
         tasks = [(key, config, chunk) for chunk in chunks]
-        for result in pool.imap_unordered(_run_chunk, tasks):
-            accept(result)
+        with maybe_span(tracer, "execute", transport=self.start_method,
+                        n_chunks=len(chunks)):
+            for result in pool.imap_unordered(_run_chunk, tasks):
+                accept(result)
 
     def close(self) -> None:
         """Shut the workers down; idempotent, pool unusable afterwards."""
@@ -441,6 +508,7 @@ def run_parallel(
     chunks_per_worker: int = 1,
     x_aware: bool = True,
     stats: ParallelStats | None = None,
+    trace: Tracer | None = None,
     **options,
 ) -> Counters:
     """Enumerate ``g``'s maximal cliques across a one-shot worker pool.
@@ -464,8 +532,17 @@ def run_parallel(
     decomposition (duplicates counted under ``suppressed_candidates``),
     kept as an escape hatch and as the baseline the work-ratio regression
     tests compare against.
+
+    ``trace=`` takes an :class:`repro.obs.trace.Tracer`: the run
+    contributes ``decompose``/``pack``/``ship``/``execute`` spans plus
+    one grafted ``chunk`` span per chunk, and the folded paper counters
+    land on the trace root as the ``counters`` attribute.
     """
     n_jobs = validate_n_jobs(n_jobs)
+    if trace is not None and not isinstance(trace, Tracer):
+        raise InvalidParameterError(
+            f"trace must be a repro.obs.Tracer or None, got {trace!r}"
+        )
     if not isinstance(x_aware, bool):
         raise InvalidParameterError(
             f"x_aware must be a bool, got {x_aware!r}"
@@ -482,12 +559,16 @@ def run_parallel(
         )
     validate_parallel_options(g, algorithm, options)
 
-    decomposition = decompose(g, cost_model=cost_model)
-    chunks = make_chunks(
-        decomposition.subproblems,
-        n_jobs * chunks_per_worker,
-        strategy=chunk_strategy,
-    )
+    with maybe_span(trace, "decompose", cost_model=cost_model):
+        decomposition = decompose(g, cost_model=cost_model)
+    with maybe_span(trace, "pack", strategy=chunk_strategy) as pack_span:
+        chunks = make_chunks(
+            decomposition.subproblems,
+            n_jobs * chunks_per_worker,
+            strategy=chunk_strategy,
+        )
+        if trace is not None:
+            pack_span.attrs.update(chunk_summary(chunks))
 
     graph_state = GraphState(
         graph=g,
@@ -499,15 +580,22 @@ def run_parallel(
         options=options,
         mode=aggregator.mode,
         x_aware=x_aware,
+        trace=trace.current if trace is not None else None,
     )
 
     aggregator.start(len(decomposition.subproblems))
     key = "oneshot"
     pool = WorkerPool(n_jobs, preload=(key, graph_state))
     try:
-        pool.submit(key, graph_state, config, chunks, aggregator.accept)
+        pool.submit(key, graph_state, config, chunks, aggregator.accept,
+                    tracer=trace)
     finally:
         pool.close()
+
+    if trace is not None:
+        for record in aggregator.spans:
+            trace.attach(record)
+        trace.annotate(counters=aggregator.counters.as_dict())
 
     if stats is not None:
         stats.n_jobs = n_jobs
@@ -522,4 +610,5 @@ def run_parallel(
         stats.chunk_costs = [c.cost for c in chunks]
         stats.chunk_sizes = [len(c.positions) for c in chunks]
         stats.chunk_cpu_seconds = dict(aggregator.chunk_cpu_seconds)
+        stats.timeline = list(aggregator.timeline)
     return aggregator.counters

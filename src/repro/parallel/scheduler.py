@@ -126,3 +126,22 @@ def balance_ratio(chunks: list[Chunk]) -> float:
     if worst <= 0.0:
         return 1.0
     return (total / len(chunks)) / worst
+
+
+def chunk_summary(chunks: list[Chunk]) -> dict[str, object]:
+    """Compact description of one packing (the ``pack`` span's attributes).
+
+    Everything a trace reader needs to judge the schedule without the
+    full chunk list: how many chunks, how many subproblems they cover,
+    the balance ratio and the cost spread.
+    """
+    if not chunks:
+        return {"n_chunks": 0, "subproblems": 0, "balance_ratio": 1.0,
+                "total_cost": 0.0, "max_cost": 0.0}
+    return {
+        "n_chunks": len(chunks),
+        "subproblems": sum(len(c.positions) for c in chunks),
+        "balance_ratio": round(balance_ratio(chunks), 4),
+        "total_cost": sum(c.cost for c in chunks),
+        "max_cost": max(c.cost for c in chunks),
+    }

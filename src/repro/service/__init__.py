@@ -32,7 +32,7 @@ from repro.service.registry import (
     GraphRegistry,
     graph_fingerprint,
 )
-from repro.service.server import serve_stdio, serve_tcp
+from repro.service.server import serve_metrics_http, serve_stdio, serve_tcp
 
 __all__ = [
     "CliqueService",
@@ -44,6 +44,7 @@ __all__ = [
     "graph_fingerprint",
     "handle_line",
     "handle_request",
+    "serve_metrics_http",
     "serve_stdio",
     "serve_tcp",
 ]

@@ -107,6 +107,11 @@ class ServiceClient:
     def stats(self) -> dict:
         return self.request({"op": "stats"})["stats"]
 
+    def metrics(self, *, fmt: str = "json"):
+        """The service metrics registry: a snapshot dict or exposition text."""
+        response = self.request({"op": "metrics", "format": fmt})
+        return response["text"] if fmt == "text" else response["metrics"]
+
     def shutdown(self) -> dict:
         return self.request({"op": "shutdown"})
 

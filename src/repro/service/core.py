@@ -24,15 +24,17 @@ from repro.exceptions import InvalidParameterError
 from repro.graph.adjacency import Graph
 from repro.graph.generators import load_dataset
 from repro.graph.io import load_graph
+from repro.obs import MetricsRegistry, Tracer, maybe_span, render_text
 from repro.parallel.aggregate import CollectAggregator, CountAggregator
 from repro.parallel.decompose import DEFAULT_COST_MODEL
 from repro.parallel.pool import (
+    ParallelStats,
     RequestConfig,
     WorkerPool,
     validate_n_jobs,
     validate_parallel_options,
 )
-from repro.parallel.scheduler import DEFAULT_CHUNK_STRATEGY
+from repro.parallel.scheduler import DEFAULT_CHUNK_STRATEGY, chunk_summary
 from repro.service.registry import GraphRegistry
 from repro.verify import clique_fingerprint
 
@@ -77,10 +79,17 @@ class CliqueService:
         self._pool = WorkerPool(self.n_jobs, warm=True)
         self._lock = threading.RLock()
         self._closed = False
-        self._started_at = time.time()
+        # Monotonic clock: uptime must never jump with NTP slews or
+        # operator clock changes (the old time.time() baseline could even
+        # go negative).
+        self._started_at = time.monotonic()
         self._requests = 0
         self._warm_requests = 0
         self._requests_by_op: dict[str, int] = {}
+        #: Service-lifetime telemetry: request counters and latency
+        #: histograms land here, and every request folds its workers'
+        #: registries (chunk CPU, ``mce_*`` branch counters) in.
+        self.metrics = MetricsRegistry()
 
     # ------------------------------------------------------------------
     # Registration
@@ -116,18 +125,24 @@ class CliqueService:
     # Requests
     # ------------------------------------------------------------------
     def count(self, graph: str, *, algorithm: str = DEFAULT_ALGORITHM,
-              x_aware: bool = True, **options) -> dict:
-        """Count the maximal cliques of a registered graph."""
+              x_aware: bool = True, trace: bool = False, **options) -> dict:
+        """Count the maximal cliques of a registered graph.
+
+        ``trace=True`` adds a ``"trace"`` span tree (decompose → pack →
+        ship → per-chunk enumerate → merge) plus the per-chunk worker
+        timeline to the response.
+        """
         aggregator = CountAggregator()
-        result = self._execute("count", graph, aggregator, algorithm,
-                               x_aware, options)
-        result["count"] = aggregator.finish()
+        result, tracer = self._execute("count", graph, aggregator, algorithm,
+                                       x_aware, trace, options)
+        with maybe_span(tracer, "merge", mode=aggregator.mode):
+            result["count"] = aggregator.finish()
         result["max_clique_size"] = aggregator.max_size
-        return result
+        return self._attach_trace(result, tracer)
 
     def enumerate(self, graph: str, *, algorithm: str = DEFAULT_ALGORITHM,
                   limit: int | None = None, x_aware: bool = True,
-                  **options) -> dict:
+                  trace: bool = False, **options) -> dict:
         """Enumerate the maximal cliques of a registered graph.
 
         ``limit`` truncates the returned list (the enumeration itself is
@@ -141,37 +156,53 @@ class CliqueService:
                     f"limit must be a non-negative integer, got {limit!r}"
                 )
         aggregator = CollectAggregator()
-        result = self._execute("enumerate", graph, aggregator, algorithm,
-                               x_aware, options)
-        cliques = aggregator.finish()
+        result, tracer = self._execute("enumerate", graph, aggregator,
+                                       algorithm, x_aware, trace, options)
+        with maybe_span(tracer, "merge", mode=aggregator.mode):
+            cliques = aggregator.finish()
         result["count"] = len(cliques)
         shown = cliques if limit is None else cliques[:limit]
         result["cliques"] = [list(c) for c in shown]
         result["truncated"] = len(shown) < len(cliques)
-        return result
+        return self._attach_trace(result, tracer)
 
     def fingerprint(self, graph: str, *, algorithm: str = DEFAULT_ALGORITHM,
-                    x_aware: bool = True, **options) -> dict:
+                    x_aware: bool = True, trace: bool = False,
+                    **options) -> dict:
         """SHA256 fingerprint of the canonical clique list.
 
         Byte-identical to ``clique_fingerprint(maximal_cliques(g, ...))``
         on the direct path — the golden-oracle check, served warm.
         """
         aggregator = CollectAggregator()
-        result = self._execute("fingerprint", graph, aggregator, algorithm,
-                               x_aware, options)
-        cliques = aggregator.finish()
+        result, tracer = self._execute("fingerprint", graph, aggregator,
+                                       algorithm, x_aware, trace, options)
+        with maybe_span(tracer, "merge", mode=aggregator.mode):
+            cliques = aggregator.finish()
+            sha256 = clique_fingerprint(cliques)
         result["count"] = len(cliques)
-        result["sha256"] = clique_fingerprint(cliques)
+        result["sha256"] = sha256
+        return self._attach_trace(result, tracer)
+
+    @staticmethod
+    def _attach_trace(result: dict, tracer: Tracer | None) -> dict:
+        """Close the request's tracer and embed the span tree, if any."""
+        if tracer is not None:
+            tracer.finish()
+            result["trace"] = tracer.to_dict()
         return result
 
     def _execute(self, op: str, graph: str, aggregator, algorithm: str,
-                 x_aware, options: dict) -> dict:
+                 x_aware, trace, options: dict) -> tuple[dict, Tracer | None]:
         with self._lock:
             self._check_open()
             if not isinstance(x_aware, bool):
                 raise InvalidParameterError(
                     f"x_aware must be a bool, got {x_aware!r}"
+                )
+            if not isinstance(trace, bool):
+                raise InvalidParameterError(
+                    f"trace must be a bool, got {trace!r}"
                 )
             if "initial_x" in options:
                 raise InvalidParameterError(
@@ -181,23 +212,36 @@ class CliqueService:
             entry = self.registry.resolve(graph)
             validate_parallel_options(entry.graph, algorithm, options)
 
+            tracer = Tracer(
+                op, graph=entry.fingerprint, graph_name=entry.name,
+                algorithm=algorithm, n_jobs=self.n_jobs,
+            ) if trace else None
+
             spinups = self._pool.spinups
             ships = self._pool.graph_ships
             decomposes = self.registry.stats.decompose_calls
 
             start = time.perf_counter()
-            decomposition = self.registry.decomposition(entry, self.cost_model)
-            chunks = self.registry.chunks(
-                entry, self.cost_model, self.chunk_strategy,
-                self.n_jobs * self.chunks_per_worker,
-            )
+            with maybe_span(tracer, "decompose", cost_model=self.cost_model):
+                decomposition = self.registry.decomposition(
+                    entry, self.cost_model)
+            decompose_seconds = time.perf_counter() - start
+            with maybe_span(tracer, "pack",
+                            strategy=self.chunk_strategy) as pack_span:
+                chunks = self.registry.chunks(
+                    entry, self.cost_model, self.chunk_strategy,
+                    self.n_jobs * self.chunks_per_worker,
+                )
+                if tracer is not None:
+                    pack_span.attrs.update(chunk_summary(chunks))
             config = RequestConfig(
                 algorithm=algorithm, options=options,
                 mode=aggregator.mode, x_aware=x_aware,
+                trace=tracer.current if tracer is not None else None,
             )
             aggregator.start(len(decomposition.subproblems))
             self._pool.submit(entry.fingerprint, entry.graph_state, config,
-                              chunks, aggregator.accept)
+                              chunks, aggregator.accept, tracer=tracer)
             seconds = time.perf_counter() - start
 
             warm = (self._pool.spinups == spinups
@@ -207,7 +251,25 @@ class CliqueService:
             if warm:
                 self._warm_requests += 1
             self._requests_by_op[op] = self._requests_by_op.get(op, 0) + 1
-            return {
+
+            # Registry-side accounting.  The aggregator's registry already
+            # carries each worker's fold (chunk CPU histograms, mce_*
+            # branch counters), so the merge — not a re-fold — keeps the
+            # totals single-counted.
+            self.metrics.counter("service_requests_total",
+                                 labels={"op": op}).inc()
+            if warm:
+                self.metrics.counter("service_warm_requests_total").inc()
+            self.metrics.histogram("service_request_seconds",
+                                   labels={"op": op}).observe(seconds)
+            self.metrics.merge(aggregator.metrics)
+
+            if tracer is not None:
+                for record in aggregator.spans:
+                    tracer.attach(record)
+                tracer.annotate(counters=aggregator.counters.as_dict())
+
+            result = {
                 "graph": entry.fingerprint,
                 "name": entry.name,
                 "algorithm": algorithm,
@@ -215,6 +277,27 @@ class CliqueService:
                 "seconds": seconds,
                 "warm": warm,
             }
+            if tracer is not None:
+                stats = ParallelStats(
+                    n_jobs=self.n_jobs,
+                    n_subproblems=len(decomposition.subproblems),
+                    n_chunks=len(chunks),
+                    chunk_strategy=self.chunk_strategy,
+                    cost_model=self.cost_model,
+                    start_method=self._pool.start_method,
+                    x_aware=x_aware,
+                    decompose_seconds=decompose_seconds,
+                    chunk_cpu_seconds=dict(aggregator.chunk_cpu_seconds),
+                    timeline=list(aggregator.timeline),
+                )
+                result["timeline"] = [e.as_dict() for e in stats.timeline]
+                result["parallel"] = {
+                    "n_chunks": stats.n_chunks,
+                    "decompose_seconds": stats.decompose_seconds,
+                    "total_cpu_seconds": stats.total_cpu_seconds,
+                    "critical_path_seconds": stats.critical_path_seconds,
+                }
+            return result, tracer
 
     # ------------------------------------------------------------------
     # Observability / lifecycle
@@ -229,7 +312,9 @@ class CliqueService:
         with self._lock:
             reg = self.registry.stats
             return {
-                "uptime_seconds": time.time() - self._started_at,
+                "uptime_seconds": time.monotonic() - self._started_at,
+                "request_seconds": self.metrics.summary(
+                    "service_request_seconds"),
                 "requests": self._requests,
                 "requests_by_op": dict(self._requests_by_op),
                 "warm_requests": self._warm_requests,
@@ -246,6 +331,37 @@ class CliqueService:
                 "chunk_strategy": self.chunk_strategy,
                 "cost_model": self.cost_model,
             }
+
+    def metrics_snapshot(self) -> dict:
+        """JSON snapshot of the service registry (gauges refreshed first)."""
+        with self._lock:
+            self._refresh_gauges()
+            return self.metrics.as_dict()
+
+    def metrics_text(self) -> str:
+        """Prometheus text exposition of the service registry."""
+        with self._lock:
+            self._refresh_gauges()
+            return render_text(self.metrics)
+
+    def _refresh_gauges(self) -> None:
+        """Point-in-time gauges, read from their authoritative sources.
+
+        These are *set* at scrape time rather than maintained on every
+        request, so the request hot path pays only its own counters.
+        """
+        m = self.metrics
+        reg = self.registry.stats
+        m.gauge("service_uptime_seconds").set(
+            time.monotonic() - self._started_at)
+        m.gauge("service_graphs_registered").set(len(self.registry))
+        m.gauge("service_pool_live").set(1.0 if self._pool.is_live else 0.0)
+        m.gauge("service_pool_spinups").set(self._pool.spinups)
+        m.gauge("service_graph_ships").set(self._pool.graph_ships)
+        m.gauge("service_decompose_calls").set(reg.decompose_calls)
+        m.gauge("service_decompose_cache_hits").set(reg.decompose_cache_hits)
+        m.gauge("service_chunk_builds").set(reg.chunk_builds)
+        m.gauge("service_chunk_cache_hits").set(reg.chunk_cache_hits)
 
     @property
     def closed(self) -> bool:

@@ -19,12 +19,16 @@ in the response, for client-side correlation):
 * ``{"op": "graphs"}`` — list registered graphs.
 * ``{"op": "count", "graph": NAME_OR_FINGERPRINT, ...}`` — optional
   ``algorithm``, ``backend``, ``bit_order``, ``et_threshold``,
-  ``graph_reduction``, ``x_aware``.
+  ``graph_reduction``, ``x_aware``, ``trace`` (``true`` adds the span
+  tree and per-chunk worker timeline to the response).
 * ``{"op": "enumerate", "graph": ..., "limit": N, ...}`` — same knobs.
 * ``{"op": "fingerprint", "graph": ..., ...}`` — SHA256 of the canonical
   clique list (matches :func:`repro.verify.clique_fingerprint` on the
   direct path).
 * ``{"op": "stats"}``
+* ``{"op": "metrics"}`` — the service metrics registry; ``"format"``
+  selects ``"json"`` (default, the registry snapshot) or ``"text"``
+  (Prometheus exposition).
 * ``{"op": "shutdown"}``
 
 Responses
@@ -63,7 +67,7 @@ def _exact_int(value: object, what: str) -> int:
 
 def _request_options(request: dict[str, Any], *extra: str) -> dict[str, Any]:
     """Split a request into algorithm options, rejecting unknown fields."""
-    allowed = _COMMON_FIELDS | {"graph", "algorithm", "x_aware"} \
+    allowed = _COMMON_FIELDS | {"graph", "algorithm", "x_aware", "trace"} \
         | set(OPTION_FIELDS) | set(extra)
     unknown = sorted(set(request) - allowed)
     if unknown:
@@ -98,6 +102,11 @@ def _kwargs(request: dict[str, Any]) -> dict[str, Any]:
         if not isinstance(x_aware, bool):
             raise ReproError(f"x_aware must be a bool, got {x_aware!r}")
         kwargs["x_aware"] = x_aware
+    if "trace" in request:
+        trace = request["trace"]
+        if not isinstance(trace, bool):
+            raise ReproError(f"trace must be a bool, got {trace!r}")
+        kwargs["trace"] = trace
     return kwargs
 
 
@@ -189,13 +198,23 @@ def handle_request(service: CliqueService,
                 _graph_key(request), **_kwargs(request), **options))
         elif op == "stats":
             response["stats"] = service.stats()
+        elif op == "metrics":
+            fmt = request.get("format", "json")
+            if fmt == "json":
+                response["metrics"] = service.metrics_snapshot()
+            elif fmt == "text":
+                response["text"] = service.metrics_text()
+            else:
+                raise ReproError(
+                    f"metrics format must be 'json' or 'text', got {fmt!r}"
+                )
         elif op == "shutdown":
             response["bye"] = True
             shutdown = True
         else:
             raise ReproError(
                 f"unknown op {op!r}; expected ping, register, graphs, "
-                "count, enumerate, fingerprint, stats or shutdown"
+                "count, enumerate, fingerprint, stats, metrics or shutdown"
             )
     except (ReproError, FileNotFoundError, OSError) as exc:
         response = {"ok": False, "error": str(exc)}

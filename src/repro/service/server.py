@@ -12,8 +12,10 @@ ports.
 
 from __future__ import annotations
 
+import http.server
 import socketserver
 import sys
+import threading
 
 from repro.service.protocol import handle_line
 
@@ -79,3 +81,53 @@ def serve_tcp(service, host: str = "127.0.0.1", port: int = 0,
             ready(server.server_address)
         server.serve_forever(poll_interval=0.05)
     return 0
+
+
+class _MetricsHandler(http.server.BaseHTTPRequestHandler):
+    """``GET /metrics`` → Prometheus text exposition; anything else 404."""
+
+    def do_GET(self) -> None:
+        if self.path.split("?", 1)[0] != "/metrics":
+            self.send_error(404, "only /metrics is served")
+            return
+        body = self.server.service.metrics_text().encode("utf-8")
+        self.send_response(200)
+        self.send_header("Content-Type",
+                         "text/plain; version=0.0.4; charset=utf-8")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def log_message(self, format, *args) -> None:
+        # Scrapes are periodic; echoing each one to stderr is noise.
+        pass
+
+
+class MetricsHTTPServer(http.server.ThreadingHTTPServer):
+    """Prometheus scrape endpoint bound to a :class:`CliqueService`."""
+
+    allow_reuse_address = True
+    daemon_threads = True
+
+    def __init__(self, address, service):
+        super().__init__(address, _MetricsHandler)
+        self.service = service
+
+
+def serve_metrics_http(service, host: str = "127.0.0.1", port: int = 0,
+                       *, ready=None) -> MetricsHTTPServer:
+    """Start a background ``/metrics`` scrape endpoint; returns the server.
+
+    Runs on a daemon thread next to whichever main transport the service
+    uses (``repro-mce serve --metrics PORT``).  The service lock makes the
+    scrape safe against in-flight requests; the caller owns shutdown via
+    the returned server (or process exit, since the thread is a daemon).
+    """
+    server = MetricsHTTPServer((host, port), service)
+    if ready is not None:
+        ready(server.server_address)
+    thread = threading.Thread(target=server.serve_forever,
+                              kwargs={"poll_interval": 0.05},
+                              name="metrics-http", daemon=True)
+    thread.start()
+    return server

@@ -1,0 +1,250 @@
+"""Metrics registry: bucket semantics, percentile math, associative merge.
+
+The histogram contract mirrors Prometheus: inclusive upper-bound buckets
+(an observation equal to a bound lands in that bound's bucket), quantiles
+by linear interpolation inside the crossing bucket, overflow clamped to
+the last finite bound.  The merge contract is what makes per-worker
+registries foldable: counters add, gauges last-write-win, histograms add
+bucket-wise, and the fold is associative in any grouping.
+"""
+
+import math
+
+import pytest
+
+from repro.core.counters import Counters
+from repro.exceptions import InvalidParameterError
+from repro.obs import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    render_text,
+)
+
+
+class TestCounter:
+    def test_inc_and_merge(self):
+        a, b = Counter(), Counter()
+        a.inc()
+        a.inc(4)
+        b.inc(2)
+        a.merge(b)
+        assert a.value == 7
+
+    def test_rejects_negative(self):
+        with pytest.raises(InvalidParameterError):
+            Counter().inc(-1)
+
+
+class TestGauge:
+    def test_merge_is_last_write_wins(self):
+        a, b = Gauge(), Gauge()
+        a.set(3.0)
+        b.set(5.0)
+        a.merge(b)
+        assert a.value == 5.0
+
+    def test_unset_gauge_does_not_clobber(self):
+        a, b = Gauge(), Gauge()
+        a.set(3.0)
+        a.merge(b)  # b never set: a keeps its value
+        assert a.value == 3.0 and a.updated
+
+
+class TestHistogramBuckets:
+    def test_boundary_value_lands_in_its_bucket(self):
+        # le-semantics: an observation exactly on a bound belongs to that
+        # bound's bucket, like a Prometheus cumulative `le` series.
+        h = Histogram(buckets=(1.0, 2.0, 4.0))
+        h.observe(1.0)
+        h.observe(2.0)
+        h.observe(4.0)
+        assert h.counts == [1, 1, 1, 0]
+
+    def test_overflow_lands_in_inf_bucket(self):
+        h = Histogram(buckets=(1.0, 2.0))
+        h.observe(2.5)
+        assert h.counts == [0, 0, 1]
+
+    def test_buckets_must_increase(self):
+        for bad in ((), (2.0, 1.0), (1.0, 1.0)):
+            with pytest.raises(InvalidParameterError):
+                Histogram(buckets=bad)
+
+    def test_default_buckets_are_latency_shaped(self):
+        assert DEFAULT_BUCKETS[0] == 0.0005
+        assert DEFAULT_BUCKETS[-1] == 10.0
+        assert list(DEFAULT_BUCKETS) == sorted(DEFAULT_BUCKETS)
+
+
+class TestPercentiles:
+    def test_empty_histogram_is_nan(self):
+        assert math.isnan(Histogram().percentile(0.5))
+
+    def test_uniform_bucket_interpolates_linearly(self):
+        # 10 observations in (0, 1]: p50 interpolates to the middle of
+        # the crossing bucket exactly as histogram_quantile would.
+        h = Histogram(buckets=(1.0, 2.0))
+        for _ in range(10):
+            h.observe(0.5)
+        assert h.percentile(0.5) == pytest.approx(0.5)
+        assert h.percentile(1.0) == pytest.approx(1.0)
+
+    def test_split_across_buckets(self):
+        h = Histogram(buckets=(1.0, 2.0, 3.0))
+        for _ in range(5):
+            h.observe(0.5)   # bucket (0, 1]
+        for _ in range(5):
+            h.observe(2.5)   # bucket (2, 3]
+        # rank 5 of 10 is the end of the first bucket; rank 9 is 80%
+        # through the (2, 3] bucket.
+        assert h.percentile(0.5) == pytest.approx(1.0)
+        assert h.percentile(0.9) == pytest.approx(2.8)
+
+    def test_overflow_clamps_to_last_bound(self):
+        h = Histogram(buckets=(1.0,))
+        h.observe(100.0)
+        assert h.percentile(0.99) == 1.0
+
+    def test_quantile_domain_checked(self):
+        with pytest.raises(InvalidParameterError):
+            Histogram().percentile(1.5)
+
+    def test_summary_shape(self):
+        h = Histogram()
+        h.observe(0.2)
+        s = h.summary()
+        assert s["count"] == 1 and s["sum"] == pytest.approx(0.2)
+        assert set(s) == {"count", "sum", "p50", "p90", "p99"}
+
+
+def _registry(counter=0, gauge=None, observations=()):
+    r = MetricsRegistry()
+    if counter:
+        r.counter("reqs").inc(counter)
+    if gauge is not None:
+        r.gauge("depth").set(gauge)
+    for v in observations:
+        r.histogram("lat", labels={"op": "count"}).observe(v)
+    return r
+
+
+class TestRegistryMerge:
+    def test_merge_is_associative(self):
+        def folded(order):
+            acc = MetricsRegistry()
+            for r in order:
+                acc.merge(r)
+            return acc.as_dict()
+
+        make = lambda: [_registry(counter=1, observations=[0.01]),
+                        _registry(counter=2, observations=[0.3, 0.7]),
+                        _registry(counter=4, gauge=9.0)]
+        a, b, c = make()
+        left = MetricsRegistry().merge(MetricsRegistry().merge(a).merge(b)) \
+            .merge(c).as_dict()
+        a, b, c = make()
+        bc = MetricsRegistry().merge(b).merge(c)
+        right = MetricsRegistry().merge(a).merge(bc).as_dict()
+        a, b, c = make()
+        assert left == right == folded([a, b, c])
+
+    def test_merge_dict_round_trips(self):
+        source = _registry(counter=3, gauge=2.0, observations=[0.1, 0.2])
+        restored = MetricsRegistry().merge_dict(source.as_dict())
+        assert restored.as_dict() == source.as_dict()
+
+    def test_merge_dict_is_cross_process_fold(self):
+        # The exact shape the pool uses: workers ship as_dict() snapshots,
+        # the parent folds them in arrival order; any order agrees.
+        # Binary-exact observations: the fold's histogram *sums* must be
+        # bit-identical in any order, not merely approximately equal.
+        snaps = [_registry(counter=i, observations=[0.25 * i]).as_dict()
+                 for i in (1, 2, 3)]
+        forward = MetricsRegistry()
+        for s in snaps:
+            forward.merge_dict(s)
+        backward = MetricsRegistry()
+        for s in reversed(snaps):
+            backward.merge_dict(s)
+        assert forward.as_dict() == backward.as_dict()
+
+    def test_kind_conflict_rejected(self):
+        r = MetricsRegistry()
+        r.counter("x").inc()
+        with pytest.raises(InvalidParameterError):
+            r.gauge("x")
+        other = MetricsRegistry()
+        other.gauge("x").set(1.0)
+        with pytest.raises(InvalidParameterError):
+            r.merge(other)
+
+    def test_bucket_conflict_rejected(self):
+        r = MetricsRegistry()
+        r.histogram("h", buckets=(1.0, 2.0))
+        with pytest.raises(InvalidParameterError):
+            r.histogram("h", buckets=(1.0, 3.0))
+
+
+class TestLabelsAndFolding:
+    def test_labels_make_distinct_instruments(self):
+        r = MetricsRegistry()
+        r.counter("reqs", labels={"op": "count"}).inc()
+        r.counter("reqs", labels={"op": "enumerate"}).inc(2)
+        assert r.value('reqs{op="count"}') == 1
+        assert r.value('reqs{op="enumerate"}') == 2
+
+    def test_labels_in_name_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            MetricsRegistry().counter('reqs{op="count"}')
+
+    def test_fold_counters_prefixes_fields(self):
+        counters = Counters()
+        counters.emitted = 7
+        counters.vertex_calls = 3
+        r = MetricsRegistry()
+        r.fold_counters(counters)
+        assert r.value("mce_emitted_total") == 7
+        assert r.value("mce_vertex_calls_total") == 3
+
+    def test_summary_merges_labels(self):
+        r = MetricsRegistry()
+        r.histogram("lat", labels={"op": "a"}).observe(0.1)
+        r.histogram("lat", labels={"op": "b"}).observe(0.1)
+        assert r.summary("lat")["count"] == 2
+        assert r.summary("missing") is None
+
+    def test_value_refuses_histograms(self):
+        r = MetricsRegistry()
+        r.histogram("lat").observe(0.1)
+        with pytest.raises(InvalidParameterError):
+            r.value("lat")
+
+
+class TestRenderText:
+    def test_exposition_shape(self):
+        r = _registry(counter=2, gauge=4.0, observations=[0.3, 3.0])
+        text = render_text(r)
+        assert "# TYPE reqs counter" in text
+        assert "reqs 2" in text
+        assert "depth 4" in text
+        # Cumulative le buckets plus the conventional _sum/_count pair.
+        assert 'lat_bucket{op="count",le="+Inf"} 2' in text
+        assert 'lat_count{op="count"} 2' in text
+        assert 'lat_sum{op="count"} 3.3' in text
+
+    def test_cumulative_buckets_are_monotonic(self):
+        r = MetricsRegistry()
+        h = r.histogram("lat", buckets=(0.1, 1.0, 10.0))
+        for v in (0.05, 0.5, 5.0, 50.0):
+            h.observe(v)
+        text = render_text(r)
+        counts = [int(line.rsplit(" ", 1)[1])
+                  for line in text.splitlines() if "lat_bucket" in line]
+        assert counts == sorted(counts)
+        assert counts[-1] == 4
+
+    def test_empty_registry_renders_empty(self):
+        assert render_text(MetricsRegistry()) == ""

@@ -1,0 +1,44 @@
+"""Worker timeline events and the per-worker skew summary."""
+
+import pytest
+
+from repro.obs import WorkerTimelineEvent, timeline_summary
+
+
+def _event(worker, chunk, cpu, start=0.0, end=1.0):
+    return WorkerTimelineEvent(worker_id=worker, chunk_id=chunk,
+                               start=start, end=end, cpu_seconds=cpu,
+                               counters={"emitted": chunk})
+
+
+class TestEvent:
+    def test_wall_seconds(self):
+        e = _event("w1", 0, 0.5, start=10.0, end=12.5)
+        assert e.wall_seconds == pytest.approx(2.5)
+
+    def test_as_dict_is_json_shaped(self):
+        d = _event("w1", 3, 0.5).as_dict()
+        assert d["worker_id"] == "w1" and d["chunk_id"] == 3
+        assert d["wall_seconds"] == pytest.approx(1.0)
+        assert d["counters"] == {"emitted": 3}
+
+
+class TestSummary:
+    def test_empty_timeline(self):
+        s = timeline_summary([])
+        assert s == {"workers": {}, "n_workers": 0, "cpu_skew": 0.0}
+
+    def test_per_worker_totals(self):
+        events = [_event("w1", 0, 1.0), _event("w1", 1, 1.0),
+                  _event("w2", 2, 2.0)]
+        s = timeline_summary(events)
+        assert s["n_workers"] == 2
+        assert s["workers"]["w1"]["chunks"] == 2
+        assert s["workers"]["w1"]["cpu_seconds"] == pytest.approx(2.0)
+        assert s["workers"]["w2"]["cpu_seconds"] == pytest.approx(2.0)
+        assert s["cpu_skew"] == pytest.approx(1.0)
+
+    def test_skew_flags_the_straggler(self):
+        events = [_event("w1", 0, 3.0), _event("w2", 1, 1.0)]
+        # max 3.0 over mean 2.0: one worker carries 1.5x its fair share.
+        assert timeline_summary(events)["cpu_skew"] == pytest.approx(1.5)

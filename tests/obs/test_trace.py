@@ -1,0 +1,127 @@
+"""Tracing: span nesting, deterministic ids, cross-process grafting.
+
+A trace must mirror the code's nesting (context-manager entry order), use
+deterministic span ids (``s<seq>`` parent-side, caller-chosen worker
+ids), and absorb worker-built span records — dicts, not live objects —
+under the parent they declare.
+"""
+
+import json
+
+from repro.obs import (
+    TraceContext,
+    Tracer,
+    find_spans,
+    maybe_span,
+    span_record,
+)
+
+
+class TestNesting:
+    def test_children_nest_like_the_code(self):
+        t = Tracer("request")
+        with t.span("outer"):
+            with t.span("inner"):
+                pass
+        with t.span("sibling"):
+            pass
+        tree = t.to_dict()
+        assert tree["name"] == "request" and tree["id"] == "s0"
+        outer, sibling = tree["children"]
+        assert [outer["name"], sibling["name"]] == ["outer", "sibling"]
+        assert [c["name"] for c in outer["children"]] == ["inner"]
+        assert outer["children"][0]["parent"] == outer["id"]
+
+    def test_span_ids_are_deterministic(self):
+        t = Tracer("request")
+        with t.span("a"):
+            pass
+        with t.span("b"):
+            pass
+        tree = t.to_dict()
+        assert [c["id"] for c in tree["children"]] == ["s1", "s2"]
+
+    def test_current_tracks_innermost_span(self):
+        t = Tracer("request")
+        assert t.current == TraceContext(t.trace_id, "s0")
+        with t.span("outer"):
+            ctx = t.current
+            assert ctx.span_id == "s1"
+        assert t.current.span_id == "s0"
+
+    def test_spans_are_timed(self):
+        t = Tracer("request")
+        with t.span("work"):
+            pass
+        tree = t.to_dict()
+        assert tree["seconds"] >= tree["children"][0]["seconds"] >= 0.0
+
+
+class TestGrafting:
+    def test_worker_record_attaches_under_declared_parent(self):
+        t = Tracer("request")
+        with t.span("execute"):
+            ctx = t.current
+        record = span_record("chunk", context=ctx, span_id="chunk0",
+                             start=0.0, seconds=0.5, worker_id="w1")
+        t.attach(record)
+        tree = t.to_dict()
+        execute = find_spans(tree, "execute")[0]
+        chunk = find_spans(tree, "chunk")[0]
+        assert chunk["parent"] == execute["id"]
+        assert chunk in execute["children"]
+        assert chunk["attrs"]["worker_id"] == "w1"
+
+    def test_orphan_record_falls_back_to_root(self):
+        t = Tracer("request")
+        orphan = span_record(
+            "chunk", context=TraceContext(t.trace_id, "s999"),
+            span_id="chunk7", start=0.0, seconds=0.1)
+        t.attach(orphan)
+        tree = t.to_dict()
+        assert find_spans(tree, "chunk")[0] in tree["children"]
+
+    def test_children_sorted_by_start_then_id(self):
+        t = Tracer("request")
+        ctx = t.current
+        t.attach(span_record("chunk", context=ctx, span_id="chunk1",
+                             start=5.0, seconds=0.1))
+        t.attach(span_record("chunk", context=ctx, span_id="chunk0",
+                             start=5.0, seconds=0.1))
+        t.attach(span_record("chunk", context=ctx, span_id="chunk2",
+                             start=1.0, seconds=0.1))
+        ids = [c["id"] for c in t.to_dict()["children"]]
+        assert ids == ["chunk2", "chunk0", "chunk1"]
+
+
+class TestSerialisation:
+    def test_tree_is_json_serialisable(self):
+        t = Tracer("request", algorithm="hbbmc++")
+        with t.span("decompose", cost_model="degree"):
+            pass
+        t.annotate(counters={"emitted": 3})
+        payload = json.loads(json.dumps(t.to_dict()))
+        assert payload["trace_id"] == t.trace_id
+        assert payload["attrs"]["counters"] == {"emitted": 3}
+
+    def test_finish_is_idempotent(self):
+        t = Tracer("request")
+        t.finish()
+        first = t.root.seconds
+        t.finish()
+        assert t.root.seconds == first
+
+    def test_trace_ids_are_unique(self):
+        assert Tracer("a").trace_id != Tracer("b").trace_id
+
+
+class TestMaybeSpan:
+    def test_none_tracer_is_a_noop_context(self):
+        with maybe_span(None, "anything") as span:
+            assert span is None
+
+    def test_live_tracer_records(self):
+        t = Tracer("request")
+        with maybe_span(t, "work", k=1) as span:
+            assert span.name == "work"
+        assert find_spans(t.to_dict(), "work")[0]["attrs"] == {"k": 1}

@@ -8,6 +8,8 @@ decomposition exists for: on the dense fixed-seed workload it must not
 expand more branches than the enumerate-then-filter decomposition.
 """
 
+import math
+
 import pytest
 
 from repro.graph.generators import erdos_renyi_gnm
@@ -58,16 +60,34 @@ class TestWorkRatio:
         assert stats.work_ratio(2.0) == pytest.approx(1.5)
         assert stats.work_ratio(3.0) == pytest.approx(1.0)
 
-    def test_non_positive_serial_time_yields_zero(self):
+    def test_non_positive_serial_time_is_nan(self):
+        # A non-positive serial baseline means the ratio is undefined —
+        # nan (not a fake 0.0) so downstream reports render it as n/a
+        # instead of an impossibly perfect overhead figure.
         stats = ParallelStats(chunk_cpu_seconds={0: 1.0})
-        assert stats.work_ratio(0.0) == 0.0
-        assert stats.work_ratio(-1.0) == 0.0
+        assert math.isnan(stats.work_ratio(0.0))
+        assert math.isnan(stats.work_ratio(-1.0))
 
     def test_empty_run_is_zero_cpu(self):
         stats = ParallelStats()
         assert stats.total_cpu_seconds == 0.0
         assert stats.critical_path_seconds == 0.0
         assert stats.work_ratio(1.0) == 0.0
+
+
+class TestTimeline:
+    def test_run_records_one_event_per_chunk(self):
+        g = erdos_renyi_gnm(30, 200, seed=5)
+        _count, _counters, stats = _run(g, x_aware=True, n_jobs=2)
+        assert len(stats.timeline) == stats.n_chunks
+        assert {e.chunk_id for e in stats.timeline} == \
+            set(range(stats.n_chunks))
+        for event in stats.timeline:
+            assert event.worker_id
+            assert event.end >= event.start
+            assert event.cpu_seconds == pytest.approx(
+                stats.chunk_cpu_seconds[event.chunk_id])
+            assert event.counters["emitted"] >= 0
 
 
 class TestXAwareBranchRegression:

@@ -130,3 +130,52 @@ class TestRunWithReport:
         assert report.clique_count > 0
         assert report.seconds >= 0
         assert report.counters.total_calls > 0
+
+
+class TestTraceParameter:
+    """``trace=`` threads a Tracer through every entry point."""
+
+    GRAPH = erdos_renyi_gnm(30, 200, seed=9)
+
+    def test_serial_run_contributes_an_enumerate_span(self):
+        from repro.obs import Tracer, find_spans
+
+        tracer = Tracer("request")
+        count = count_maximal_cliques(self.GRAPH, trace=tracer)
+        tree = tracer.to_dict()
+        spans = find_spans(tree, "enumerate")
+        assert len(spans) == 1 and spans[0]["seconds"] >= 0.0
+        assert tree["attrs"]["counters"]["emitted"] == count
+
+    def test_parallel_run_contributes_the_full_pipeline(self):
+        from repro.obs import Tracer, find_spans
+
+        tracer = Tracer("request")
+        count = count_maximal_cliques(self.GRAPH, n_jobs=2, trace=tracer)
+        tree = tracer.to_dict()
+        for name in ("decompose", "pack", "ship", "execute", "merge"):
+            assert find_spans(tree, name), name
+        chunks = find_spans(tree, "chunk")
+        assert len(chunks) >= 2
+        assert sum(c["attrs"]["counters"]["emitted"] for c in chunks) == count
+
+    def test_traced_and_untraced_runs_agree(self):
+        from repro.obs import Tracer
+
+        expected = maximal_cliques(self.GRAPH)
+        traced = maximal_cliques(self.GRAPH, n_jobs=2, trace=Tracer("t"))
+        assert traced == expected
+
+    def test_trace_rejects_non_tracer(self):
+        with pytest.raises(InvalidParameterError):
+            maximal_cliques(self.GRAPH, trace="yes")
+        with pytest.raises(InvalidParameterError):
+            run_with_report(self.GRAPH, n_jobs=2, trace=object())
+
+    def test_run_with_report_traces_both_paths(self):
+        from repro.obs import Tracer, find_spans
+
+        for kwargs, leaf in (({}, "enumerate"), ({"n_jobs": 2}, "chunk")):
+            tracer = Tracer("request")
+            run_with_report(self.GRAPH, trace=tracer, **kwargs)
+            assert find_spans(tracer.to_dict(), leaf)

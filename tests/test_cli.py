@@ -296,3 +296,42 @@ class TestServe:
         out = capsys.readouterr().out
         assert "--port" in out
         assert "--jobs" in out
+
+
+class TestTraceFlag:
+    def test_count_writes_trace_json(self, graph_file, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        assert main(["count", graph_file, "--jobs", "2",
+                     "--trace", str(trace_path)]) == 0
+        err = capsys.readouterr().err
+        assert str(trace_path) in err
+        tree = json.loads(trace_path.read_text())
+        assert tree["name"] == "count"
+        names = set()
+        stack = [tree]
+        while stack:
+            node = stack.pop()
+            names.add(node["name"])
+            stack.extend(node["children"])
+        assert {"decompose", "pack", "ship", "execute", "chunk",
+                "merge"} <= names
+
+    def test_enumerate_serial_trace(self, graph_file, tmp_path, capsys):
+        trace_path = tmp_path / "trace.json"
+        assert main(["enumerate", graph_file,
+                     "--trace", str(trace_path)]) == 0
+        capsys.readouterr()
+        tree = json.loads(trace_path.read_text())
+        assert [c["name"] for c in tree["children"]] == ["enumerate"]
+        assert tree["attrs"]["counters"]["emitted"] == 1
+
+    def test_trace_incompatible_with_all(self, graph_file, tmp_path, capsys):
+        assert main(["count", graph_file, "--all",
+                     "--trace", str(tmp_path / "t.json")]) == 2
+        err = capsys.readouterr().err
+        assert err.startswith("error:") and "--all" in err
+
+    def test_serve_metrics_flag_documented(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["serve", "--help"])
+        assert "--metrics" in capsys.readouterr().out
