@@ -35,6 +35,13 @@ Usage::
 
 The full run writes ``BENCH_parallel.json`` at the repository root;
 ``--quick`` is the CI smoke mode (tiny graphs, workers 1/2, scratch path).
+
+The full run also measures the static-vs-steal *skew scenario*: on
+``ba_heavy_hub`` graphs (one subproblem owns a planted Moon-Moser
+pocket's entire clique stream) it compares the one-shot greedy schedule
+against the work-stealing schedule (``steal=True``) and records
+per-worker CPU skew, critical path, steal and re-split counts.
+``--quick --steal`` runs a small version of the scenario in CI.
 """
 
 from __future__ import annotations
@@ -61,6 +68,7 @@ ALGORITHM = "hbbmc++"
 def workloads(quick: bool):
     """(name, graph) pairs — the bench_backend_comparison suite."""
     from repro.graph.generators import (
+        ba_heavy_hub,
         barabasi_albert,
         erdos_renyi_gnm,
         planted_cliques,
@@ -79,11 +87,13 @@ def workloads(quick: bool):
         ("barabasi-albert", barabasi_albert(500, 10, seed=5)),
         ("planted-cliques", planted_cliques(120, 6, 12, 400, seed=2)),
         ("ring-of-cliques", ring_of_cliques(40, 8)),
+        ("ba-heavy-hub",
+         ba_heavy_hub(600, 3, hub_parts=7, hub_part_size=4, seed=11)),
     ]
 
 
 def _parallel_cell(g, n_jobs: int, chunk_strategy: str, repeats: int,
-                   x_aware: bool):
+                   x_aware: bool, steal: bool = False):
     """Best-of-``repeats`` partitioned run at ``n_jobs`` workers."""
     best = None
     for _ in range(max(1, repeats)):
@@ -92,7 +102,7 @@ def _parallel_cell(g, n_jobs: int, chunk_strategy: str, repeats: int,
         start = time.perf_counter()
         run_parallel(g, aggregator, algorithm=ALGORITHM, n_jobs=n_jobs,
                      chunk_strategy=chunk_strategy, x_aware=x_aware,
-                     stats=stats)
+                     steal=steal, stats=stats)
         wall = time.perf_counter() - start
         cell = {
             "wall_seconds": wall,
@@ -103,6 +113,81 @@ def _parallel_cell(g, n_jobs: int, chunk_strategy: str, repeats: int,
                             < best["stats"].critical_path_seconds):
             best = cell
     return best
+
+
+def skew_scenario(quick: bool, repeats: int) -> dict:
+    """Static greedy vs work-stealing on single-dominant-hub graphs.
+
+    ``ba_heavy_hub`` plants a Moon-Moser pocket whose hub vertex peels
+    first and therefore owns every transversal clique: one subproblem
+    dominates the schedule, which is exactly the shape static LPT packing
+    cannot balance.  The scenario records per-worker CPU skew
+    (``timeline_summary``; 1.0 = perfectly even) and the critical path
+    for both modes, asserting the clique counts agree.
+    """
+    from repro.graph.generators import ba_heavy_hub
+    from repro.obs import timeline_summary
+
+    if quick:
+        graphs = [("ba-heavy-hub-quick",
+                   ba_heavy_hub(200, 3, hub_parts=4, hub_part_size=3,
+                                seed=7))]
+        n_jobs = 2
+    else:
+        graphs = [
+            ("ba-heavy-hub-600",
+             ba_heavy_hub(600, 3, hub_parts=7, hub_part_size=4, seed=11)),
+            ("ba-heavy-hub-800",
+             ba_heavy_hub(800, 3, hub_parts=7, hub_part_size=4, seed=5)),
+        ]
+        n_jobs = 4
+    rows = []
+    for name, g in graphs:
+        cells = {}
+        for mode, steal in (("static", False), ("steal", True)):
+            cells[mode] = _parallel_cell(g, n_jobs, "greedy", repeats,
+                                         x_aware=True, steal=steal)
+        if cells["static"]["cliques"] != cells["steal"]["cliques"]:
+            raise AssertionError(
+                f"{name}: static ({cells['static']['cliques']}) and steal "
+                f"({cells['steal']['cliques']}) clique counts disagree"
+            )
+        row = {"family": name, "n": g.n, "m": g.m, "workers": n_jobs,
+               "cliques": cells["static"]["cliques"]}
+        for mode, cell in cells.items():
+            stats = cell["stats"]
+            skew = timeline_summary(stats.timeline)["cpu_skew"]
+            row[mode] = {
+                "cpu_skew": round(skew, 3),
+                "critical_path_seconds": round(
+                    stats.critical_path_seconds, 6),
+                "wall_seconds": round(cell["wall_seconds"], 6),
+                "n_chunks": stats.n_chunks,
+                "balance_ratio": round(stats.balance_ratio, 4),
+                "steals": stats.steals,
+                "resplit_subproblems": stats.resplit_subproblems,
+                "resplit_tasks": stats.resplit_tasks,
+            }
+        static_crit = row["static"]["critical_path_seconds"]
+        steal_crit = row["steal"]["critical_path_seconds"]
+        row["critical_path_speedup"] = (
+            round(static_crit / steal_crit, 3) if steal_crit else 0.0)
+        print(f"{name:20s} workers={n_jobs}  "
+              f"static skew={row['static']['cpu_skew']:5.2f}  "
+              f"steal skew={row['steal']['cpu_skew']:5.2f}  "
+              f"crit {static_crit:.3f}s -> {steal_crit:.3f}s  "
+              f"steals={row['steal']['steals']}")
+        rows.append(row)
+    return {
+        "workers": n_jobs,
+        "chunk_strategy": "greedy",
+        "skew_basis": (
+            "cpu_skew = max-over-mean per-worker CPU from the chunk "
+            "timeline (1.0 = perfectly even); critical path as in the "
+            "scaling rows"
+        ),
+        "rows": rows,
+    }
 
 
 def run(quick: bool, repeats: int, chunk_strategy: str,
@@ -210,6 +295,9 @@ def main(argv: list[str] | None = None) -> int:
     parser.add_argument("--no-x-aware", action="store_true",
                         help="measure the legacy enumerate-then-filter "
                              "decomposition instead of X-aware subproblems")
+    parser.add_argument("--steal", action="store_true",
+                        help="include the static-vs-steal skew scenario in "
+                             "--quick mode (the full run always includes it)")
     parser.add_argument("--out", default=None,
                         help="output JSON path (default: BENCH_parallel.json "
                              "at the repo root; /tmp scratch in --quick mode)")
@@ -218,6 +306,8 @@ def main(argv: list[str] | None = None) -> int:
     repeats = args.repeats if args.repeats is not None else (1 if args.quick else 3)
     results = run(args.quick, repeats, args.chunk_strategy,
                   x_aware=not args.no_x_aware)
+    if not args.quick or args.steal:
+        results["skew_scenario"] = skew_scenario(args.quick, repeats)
 
     if args.out:
         out = pathlib.Path(args.out)

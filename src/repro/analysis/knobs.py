@@ -89,6 +89,8 @@ def default_knobs() -> tuple[Knob, ...]:
              notes={"worker": parent_side}),
         Knob("x_aware", api=API_PARAM, cli="--no-x-aware",
              service=SERVICE_REQUEST, worker=WORKER_FIELD),
+        Knob("steal", api=API_PARAM, cli="--steal",
+             service=SERVICE_REQUEST, worker=WORKER_FIELD),
         Knob("trace", api=API_PARAM, cli="--trace",
              service=SERVICE_REQUEST, worker=WORKER_FIELD),
         Knob("metrics", api=None, cli="--metrics", service=None, worker=None,

@@ -218,6 +218,7 @@ def enumerate_to_sink(
     cost_model: str | None = None,
     chunks_per_worker: int | None = None,
     x_aware: bool | None = None,
+    steal: bool | None = None,
     trace: Tracer | None = None,
     **options,
 ) -> Counters:
@@ -245,14 +246,14 @@ def enumerate_to_sink(
         counters = run_parallel(
             g, aggregator, algorithm=algorithm, n_jobs=n_jobs, trace=trace,
             **_parallel_kwargs(chunk_strategy, cost_model, x_aware,
-                               chunks_per_worker),
+                               chunks_per_worker, steal),
             **options,
         )
         with maybe_span(trace, "merge", mode=aggregator.mode):
             aggregator.finish()
         return counters
     _reject_serial_parallel_options(chunk_strategy, cost_model, x_aware,
-                                    chunks_per_worker)
+                                    chunks_per_worker, steal)
     spec = get_algorithm(algorithm)
     if "initial_x" in options and not spec.supports_initial_x:
         from repro.exceptions import InvalidParameterError
@@ -281,7 +282,8 @@ def _validate_trace(trace: Tracer | None) -> None:
 
 def _parallel_kwargs(chunk_strategy: str | None, cost_model: str | None,
                      x_aware: bool | None = None,
-                     chunks_per_worker: int | None = None) -> dict:
+                     chunks_per_worker: int | None = None,
+                     steal: bool | None = None) -> dict:
     kwargs = {}
     if chunk_strategy is not None:
         kwargs["chunk_strategy"] = chunk_strategy
@@ -291,21 +293,25 @@ def _parallel_kwargs(chunk_strategy: str | None, cost_model: str | None,
         kwargs["x_aware"] = x_aware
     if chunks_per_worker is not None:
         kwargs["chunks_per_worker"] = chunks_per_worker
+    if steal is not None:
+        kwargs["steal"] = steal
     return kwargs
 
 
 def _reject_serial_parallel_options(
     chunk_strategy: str | None, cost_model: str | None,
     x_aware: bool | None = None, chunks_per_worker: int | None = None,
+    steal: bool | None = None,
 ) -> None:
     """Scheduling knobs without ``n_jobs`` are almost certainly a mistake."""
     from repro.exceptions import InvalidParameterError
 
     if chunk_strategy is not None or cost_model is not None \
-            or x_aware is not None or chunks_per_worker is not None:
+            or x_aware is not None or chunks_per_worker is not None \
+            or steal is not None:
         raise InvalidParameterError(
-            "chunk_strategy/cost_model/x_aware/chunks_per_worker require "
-            "n_jobs (the parallel path)"
+            "chunk_strategy/cost_model/x_aware/chunks_per_worker/steal "
+            "require n_jobs (the parallel path)"
         )
 
 
@@ -319,6 +325,7 @@ def maximal_cliques(
     cost_model: str | None = None,
     chunks_per_worker: int | None = None,
     x_aware: bool | None = None,
+    steal: bool | None = None,
     trace: Tracer | None = None,
     **options,
 ) -> list[tuple[int, ...]]:
@@ -334,7 +341,8 @@ def maximal_cliques(
     enumerate_to_sink(
         g, collector, algorithm=algorithm, n_jobs=n_jobs,
         chunk_strategy=chunk_strategy, cost_model=cost_model,
-        chunks_per_worker=chunks_per_worker, x_aware=x_aware, trace=trace,
+        chunks_per_worker=chunks_per_worker, x_aware=x_aware, steal=steal,
+        trace=trace,
         **options,
     )
     if sort:
@@ -351,6 +359,7 @@ def count_maximal_cliques(
     cost_model: str | None = None,
     chunks_per_worker: int | None = None,
     x_aware: bool | None = None,
+    steal: bool | None = None,
     trace: Tracer | None = None,
     **options,
 ) -> int:
@@ -366,13 +375,13 @@ def count_maximal_cliques(
         run_parallel(
             g, aggregator, algorithm=algorithm, n_jobs=n_jobs, trace=trace,
             **_parallel_kwargs(chunk_strategy, cost_model, x_aware,
-                               chunks_per_worker),
+                               chunks_per_worker, steal),
             **options,
         )
         with maybe_span(trace, "merge", mode=aggregator.mode):
             return aggregator.finish()
     _reject_serial_parallel_options(chunk_strategy, cost_model, x_aware,
-                                    chunks_per_worker)
+                                    chunks_per_worker, steal)
     counter = CliqueCounter()
     enumerate_to_sink(g, counter, algorithm=algorithm, trace=trace, **options)
     return counter.count
@@ -387,6 +396,7 @@ def run_with_report(
     cost_model: str | None = None,
     chunks_per_worker: int | None = None,
     x_aware: bool | None = None,
+    steal: bool | None = None,
     trace: Tracer | None = None,
     **options,
 ) -> RunReport:
@@ -404,14 +414,14 @@ def run_with_report(
         counters = run_parallel(
             g, aggregator, algorithm=algorithm, n_jobs=n_jobs, trace=trace,
             **_parallel_kwargs(chunk_strategy, cost_model, x_aware,
-                               chunks_per_worker),
+                               chunks_per_worker, steal),
             **options,
         )
         with maybe_span(trace, "merge", mode=aggregator.mode):
             count = aggregator.finish()
     else:
         _reject_serial_parallel_options(chunk_strategy, cost_model, x_aware,
-                                        chunks_per_worker)
+                                        chunks_per_worker, steal)
         counter = CliqueCounter()
         counters = enumerate_to_sink(g, counter, algorithm=algorithm,
                                      trace=trace, **options)

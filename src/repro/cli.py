@@ -95,6 +95,11 @@ def _add_graph_arguments(parser: argparse.ArgumentParser) -> None:
                         help="disable X-set-aware subproblems: enumerate "
                              "each subproblem fully, then filter duplicated "
                              "cliques (requires --jobs; default: X-aware)")
+    parser.add_argument("--steal", action="store_true",
+                        help="work-stealing schedule: many small chunks "
+                             "dispatched dynamically, cost outliers re-split "
+                             "at their root (requires --jobs; default: "
+                             "static chunking)")
 
 
 def _backend_options(args: argparse.Namespace) -> dict:
@@ -126,7 +131,8 @@ def _parallel_options(args: argparse.Namespace) -> dict:
                             ("--cost-model", args.cost_model is not None),
                             ("--chunks-per-worker",
                              args.chunks_per_worker is not None),
-                            ("--no-x-aware", args.no_x_aware)):
+                            ("--no-x-aware", args.no_x_aware),
+                            ("--steal", args.steal)):
             if given:
                 raise InvalidParameterError(
                     f"{flag} requires --jobs (the parallel path)"
@@ -141,6 +147,8 @@ def _parallel_options(args: argparse.Namespace) -> dict:
         options["chunks_per_worker"] = args.chunks_per_worker
     if args.no_x_aware:
         options["x_aware"] = False
+    if args.steal:
+        options["steal"] = True
     return options
 
 

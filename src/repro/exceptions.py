@@ -30,3 +30,13 @@ class UnknownAlgorithmError(ReproError, KeyError):
 
 class NotAPlexError(ReproError):
     """Raised when a t-plex-only routine receives a graph that is not one."""
+
+
+class WorkerPoolError(ReproError):
+    """Raised when the parallel worker pool fails structurally.
+
+    The canonical case is a worker process dying between pool spin-up and
+    the graph broadcast: the rendezvous barrier can never complete, so the
+    surviving workers (and the parent) abandon the broadcast with this
+    error instead of blocking forever.
+    """

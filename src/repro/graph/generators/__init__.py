@@ -1,6 +1,7 @@
 """Random and structured graph generators (all written from scratch)."""
 
 from repro.graph.generators.barabasi_albert import (
+    ba_heavy_hub,
     barabasi_albert,
     barabasi_albert_with_density,
     holme_kim,
@@ -37,6 +38,7 @@ from repro.graph.generators.structured import (
 __all__ = [
     "DATASET_NAMES",
     "PAPER_STATS",
+    "ba_heavy_hub",
     "barabasi_albert",
     "barabasi_albert_with_density",
     "complete_multipartite",

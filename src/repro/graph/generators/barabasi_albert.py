@@ -99,6 +99,77 @@ def holme_kim(
     return g
 
 
+def ba_heavy_hub(
+    n: int,
+    k: int,
+    hub_parts: int = 7,
+    hub_part_size: int = 4,
+    seed: int | None = None,
+) -> Graph:
+    """BA background with one dominant-hub pocket: the skew stress family.
+
+    On top of a preferential-attachment background, three planted pieces
+    conspire to hand a *single* root subproblem almost all the work:
+
+    * a complete ``hub_parts``-partite *pocket* ``M`` with parts of size
+      ``hub_part_size`` — the Moon–Moser pattern with
+      ``hub_part_size ** hub_parts`` maximal transversal cliques;
+    * a *hub* vertex ``u`` adjacent to every pocket vertex, so each
+      transversal extends to exactly one maximal clique through ``u``;
+    * an *anchor* clique whose members each pocket vertex touches a few
+      times.  The anchor peels last (it is the densest core), so pocket
+      vertices carry extra residual degree for as long as ``u`` is alive
+      — which forces ``u`` to peel *before* all of ``M``.
+
+    ``u`` is therefore the earliest vertex of every transversal clique
+    and its degeneracy subproblem owns all ``hub_part_size ** hub_parts``
+    of them, while every other root stays cheap: the one-straggler skew
+    that static chunking cannot balance no matter the strategy, and that
+    work stealing with root-level re-splitting is built to fix.  (A plain
+    BA hub gives no skew — high-degree vertices peel last and see tiny
+    candidate sets; a dense ER pocket spreads ownership over dozens of
+    comparable roots that LPT balances fine.)
+    """
+    if hub_parts < 2:
+        raise InvalidParameterError(
+            f"hub_parts must be >= 2, got {hub_parts}"
+        )
+    if hub_part_size < 2:
+        raise InvalidParameterError(
+            f"hub_part_size must be >= 2, got {hub_part_size}"
+        )
+    pocket = hub_parts * hub_part_size
+    anchor_size = pocket + 6
+    anchor_links = hub_part_size + 3
+    planted = 1 + pocket + anchor_size
+    if planted > n:
+        raise InvalidParameterError(
+            f"planted structure needs {planted} vertices, got n={n}"
+        )
+    g = barabasi_albert(n, k, seed)
+    rng = random.Random(None if seed is None else seed + 1)
+    sample = rng.sample(range(n), planted)
+    hub, members, anchor = sample[0], sample[1:1 + pocket], sample[1 + pocket:]
+
+    def connect(u: int, v: int) -> None:
+        if v not in g.adj[u]:
+            g.add_edge(u, v)
+
+    part_of = {v: i // hub_part_size for i, v in enumerate(members)}
+    for i, u in enumerate(members):
+        connect(hub, u)
+        for v in members[i + 1:]:
+            if part_of[u] != part_of[v]:
+                connect(u, v)
+    for i, u in enumerate(anchor):
+        for v in anchor[i + 1:]:
+            connect(u, v)
+    for u in members:
+        for v in rng.sample(anchor, anchor_links):
+            connect(u, v)
+    return g
+
+
 def barabasi_albert_with_density(n: int, rho: float, seed: int | None = None) -> Graph:
     """BA graph tuned to the paper's density parameter rho ~ m / n.
 

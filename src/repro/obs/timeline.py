@@ -1,8 +1,10 @@
 """Per-chunk worker timelines: who ran what, when, and at what CPU cost.
 
 Every chunk a worker solves produces one :class:`WorkerTimelineEvent` —
-worker identity, chunk id, wall-clock start/end (epoch seconds, so events
-from different processes on one host line up on a shared axis) and the
+worker identity, chunk id, wall-clock start/end (``time.monotonic``
+seconds — a system-wide clock on Linux, so events from different
+processes on one host line up on a shared axis and never jump under NTP
+slews) and the
 worker-side ``process_time`` actually burned, plus the branch counters
 for that chunk.  The events ride back on the chunk results, land in
 ``ParallelStats.timeline`` and surface through the service's trace

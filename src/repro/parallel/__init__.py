@@ -11,6 +11,11 @@ chunk with any registered algorithm/backend
 (:mod:`repro.parallel.pool`); and pluggable aggregators merge the streams
 back deterministically (:mod:`repro.parallel.aggregate`).
 
+``steal=True`` swaps the one-shot fan-out for a work-stealing schedule:
+many small chunks dispatched dynamically as workers free up, with
+cost-outlier subproblems re-split at their own root level so no single
+chunk can dominate the critical path on skewed graphs.
+
 Most callers never import this package directly — pass ``n_jobs=`` to
 :func:`repro.api.maximal_cliques`, :func:`repro.api.count_maximal_cliques`
 or :func:`repro.api.enumerate_to_sink` (CLI: ``--jobs``).
@@ -35,8 +40,13 @@ from repro.parallel.pool import (
     GraphState,
     ParallelStats,
     RequestConfig,
+    SplitTask,
+    SubmitReport,
     WorkerPool,
+    mark_resplit,
     parse_jobs,
+    plan_steal_schedule,
+    record_steal_metrics,
     run_parallel,
     validate_n_jobs,
     validate_parallel_options,
@@ -45,9 +55,13 @@ from repro.parallel.scheduler import (
     CHUNK_STRATEGIES,
     DEFAULT_CHUNK_STRATEGY,
     Chunk,
+    StealPlan,
     balance_ratio,
     chunk_summary,
     make_chunks,
+    plan_steal,
+    resplit_threshold,
+    steal_chunk_count,
 )
 
 __all__ = [
@@ -65,15 +79,24 @@ __all__ = [
     "GraphState",
     "ParallelStats",
     "RequestConfig",
+    "SplitTask",
+    "SubmitReport",
     "WorkerPool",
+    "mark_resplit",
     "parse_jobs",
+    "plan_steal_schedule",
+    "record_steal_metrics",
     "run_parallel",
     "validate_n_jobs",
     "validate_parallel_options",
     "CHUNK_STRATEGIES",
     "DEFAULT_CHUNK_STRATEGY",
     "Chunk",
+    "StealPlan",
     "balance_ratio",
     "chunk_summary",
     "make_chunks",
+    "plan_steal",
+    "resplit_threshold",
+    "steal_chunk_count",
 ]

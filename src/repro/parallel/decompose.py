@@ -201,22 +201,28 @@ def uses_in_place_phase(algorithm: str, options: dict) -> bool:
         and set(options) <= _IN_PLACE_OPTIONS
 
 
-def _solve_in_place(
+def solve_branch(
     g: Graph,
-    v: int,
-    later: set[int],
-    earlier: set[int],
+    stem: list[int],
+    candidates: set[int],
+    exclusion: set[int],
     phase_kwargs: dict,
     options: dict,
-    bit_graph,
-) -> tuple[list[tuple[int, ...]], Counters, int]:
-    """Run the branch ``(S={v}, C=later, X=earlier)`` on ``g`` directly.
+    bit_graph=None,
+) -> tuple[list[tuple[int, ...]], Counters]:
+    """Run one branch ``(S=stem, C=candidates, X=exclusion)`` on ``g``.
 
-    No subgraph, no relabelling, no per-subproblem ordering or reduction
-    prologue — one vertex-phase call per subproblem on the whole graph's
-    adjacency (or its bitmask view).  ``graph_reduction`` in ``options``
-    is ignored, matching the frameworks' reduction bypass under a seeded
-    exclusion set.
+    The engine's vertex phase executed in place on the whole graph's
+    adjacency (or its bitmask view) — no subgraph, no relabelling, no
+    per-subproblem ordering or reduction prologue.  ``graph_reduction``
+    in ``options`` is ignored, matching the frameworks' reduction bypass
+    under a seeded exclusion set.  This is the shared primitive of the
+    per-vertex subproblem (``stem=[v]``) and the work-stealing re-split
+    (``stem=[v, w]`` for each root-level candidate ``w``): both are the
+    same X-aware decomposition, applied one level apart.
+
+    Returns the canonical clique list (each tuple ascending, list sorted)
+    and the branch counters, with ``emitted`` set to the clique count.
     """
     from repro.core.phases import make_context
 
@@ -237,17 +243,33 @@ def _solve_in_place(
             g, order=bit_order
         )
         masks = bg.masks
-        ctx.phase([bg.bit_of[v]], bg.mask_of_vertices(later),
-                  bg.mask_of_vertices(earlier), masks, masks, ctx)
+        ctx.phase([bg.bit_of[v] for v in stem],
+                  bg.mask_of_vertices(candidates),
+                  bg.mask_of_vertices(exclusion), masks, masks, ctx)
         if not bg.is_identity:
             # Branch state ran in bit space; map emitted bits back.
             to_vertex = bg.to_vertex
             out[:] = [tuple(to_vertex[b] for b in clique) for clique in out]
     else:
         adj = g.adj
-        ctx.phase([v], set(later), set(earlier), adj, adj, ctx)
+        ctx.phase(list(stem), set(candidates), set(exclusion), adj, adj, ctx)
     cliques = sorted(tuple(sorted(clique)) for clique in out)
     counters.emitted = len(cliques)
+    return cliques, counters
+
+
+def _solve_in_place(
+    g: Graph,
+    v: int,
+    later: set[int],
+    earlier: set[int],
+    phase_kwargs: dict,
+    options: dict,
+    bit_graph,
+) -> tuple[list[tuple[int, ...]], Counters, int]:
+    """Run the branch ``(S={v}, C=later, X=earlier)`` on ``g`` directly."""
+    cliques, counters = solve_branch(g, [v], later, earlier, phase_kwargs,
+                                     options, bit_graph)
     return cliques, counters, 0
 
 

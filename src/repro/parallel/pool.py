@@ -29,11 +29,13 @@ the aggregator re-establishing deterministic order.
 from __future__ import annotations
 
 import multiprocessing
+import queue
+import threading
 import time
 from dataclasses import dataclass, field
 
 from repro.core.counters import Counters
-from repro.exceptions import InvalidParameterError
+from repro.exceptions import InvalidParameterError, WorkerPoolError
 from repro.graph.adjacency import Graph
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.timeline import WorkerTimelineEvent
@@ -41,17 +43,41 @@ from repro.obs.trace import TraceContext, Tracer, maybe_span, span_record
 from repro.parallel.aggregate import Aggregator, ChunkResult, count_payload
 from repro.parallel.decompose import (
     DEFAULT_COST_MODEL,
+    Decomposition,
+    Subproblem,
     decompose,
+    solve_branch,
     solve_subproblem,
+    subproblem_sets,
     uses_in_place_phase,
 )
 from repro.parallel.scheduler import (
     DEFAULT_CHUNK_STRATEGY,
+    STEAL_CHUNK_FACTOR,
     Chunk,
     balance_ratio,
     chunk_summary,
     make_chunks,
+    plan_steal,
+    resplit_threshold,
+    steal_chunk_count,
 )
+
+#: worker-side barrier timeout for the graph broadcast rendezvous.  A
+#: worker that dies between spin-up and the broadcast can never arrive,
+#: so the survivors abandon the barrier after this long instead of
+#: blocking the submit (and the service lock) forever.
+_BROADCAST_TIMEOUT = 60.0
+
+#: extra parent-side slack on top of the worker timeout before the
+#: broadcast itself is declared failed (covers the case where the dead
+#: worker consumed its install task, which is then lost for good and the
+#: surviving workers' errors can never release the map).
+_BROADCAST_GRACE = 15.0
+
+#: a subproblem below this many root-level candidates is never re-split —
+#: the per-branch dispatch overhead cannot pay for itself.
+_MIN_RESPLIT_CANDIDATES = 4
 
 
 @dataclass
@@ -119,6 +145,7 @@ class RequestConfig:
     options: dict
     mode: str  # "collect" or "count"
     x_aware: bool = True
+    steal: bool = False
     trace: TraceContext | None = None
 
 
@@ -141,6 +168,14 @@ class ParallelStats:
     cost_model: str = ""
     start_method: str = ""
     x_aware: bool = True
+    steal: bool = False
+    #: tasks a worker pulled off the dynamic queue beyond the initial
+    #: dispatch window (0 in static mode by definition).
+    steals: int = 0
+    #: subproblems re-split at their own root level, and the split tasks
+    #: they produced.
+    resplit_subproblems: int = 0
+    resplit_tasks: int = 0
     decompose_seconds: float = 0.0
     balance_ratio: float = 1.0
     chunk_costs: list[float] = field(default_factory=list)
@@ -212,9 +247,14 @@ def _solve_chunk(
     counters folded as ``mce_*_total``), and — when the request carries a
     trace context — a span record parented on the parent's enumerate
     span.  Per-chunk cost is a handful of clock reads and one small dict.
+
+    Timestamps use ``time.monotonic()``: it cannot step backwards (an NTP
+    adjustment mid-chunk made ``time.time()`` produce negative
+    ``wall_seconds``) and on Linux it is system-wide, so stamps taken in
+    different forked workers stay comparable on one timeline.
     """
     worker = multiprocessing.current_process().name
-    started = time.time()
+    started = time.monotonic()
     cpu_start = time.process_time()
     items: list[tuple[int, object]] = []
     counters = Counters()
@@ -233,7 +273,7 @@ def _solve_chunk(
         payload = count_payload(cliques) if config.mode == "count" else cliques
         items.append((p, payload))
     cpu_seconds = time.process_time() - cpu_start
-    finished = time.time()
+    finished = time.monotonic()
     registry = MetricsRegistry()
     registry.histogram("worker_chunk_cpu_seconds",
                        labels={"worker": worker}).observe(cpu_seconds)
@@ -301,11 +341,23 @@ def _install_graph(task) -> str:
     The barrier (sized to the pool) guarantees each worker executes exactly
     one install per broadcast — a worker that grabbed its copy blocks until
     every other worker has grabbed one too, so none can steal a second.
+
+    The wait is bounded: a worker that died between spin-up and the
+    broadcast can never arrive, and an unbounded barrier would park the
+    survivors — and through them ``submit()`` and the service lock —
+    forever.  On timeout the barrier breaks, every survivor raises
+    :class:`WorkerPoolError`, and the parent surfaces one clean error.
     """
     key, graph_state = task
     _WORKER_GRAPHS[key] = graph_state
     if _WORKER_BARRIER is not None:
-        _WORKER_BARRIER.wait()
+        try:
+            _WORKER_BARRIER.wait(timeout=_BROADCAST_TIMEOUT)
+        except threading.BrokenBarrierError:
+            raise WorkerPoolError(
+                "graph broadcast barrier broke: a worker died before the "
+                f"rendezvous (waited {_BROADCAST_TIMEOUT:.0f}s)"
+            ) from None
     return key
 
 
@@ -316,6 +368,275 @@ def _run_chunk(task) -> ChunkResult:
     if graph_state is None:  # pragma: no cover - defensive
         raise RuntimeError(f"worker never received graph state {key!r}")
     return _solve_chunk(graph_state, config, chunk)
+
+
+# ---------------------------------------------------------------------------
+# Root-level re-splitting (steal mode)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class SplitTask:
+    """One part of a re-split subproblem.
+
+    A cost-model outlier is split at its own root level: for root ``v``
+    with candidates ``w_0 < w_1 < ...`` (degeneracy-position order), the
+    branch of ``w_i`` is the X-aware subproblem one level down —
+    ``S = {v, w_i}``, candidates the later co-neighbours, exclusion the
+    earlier ones (recursive application of the PR-3 decomposition, so the
+    branches are disjoint and together exactly cover the subproblem).
+    ``branches`` lists the candidate indices this part owns; ``part`` /
+    ``parts`` let the parent-side merger recognise the last arrival.
+    ``index`` shares the chunk index namespace (unique across both).
+    """
+
+    index: int
+    position: int
+    branches: tuple[int, ...]
+    part: int
+    parts: int
+    cost: float
+
+
+def mark_resplit(g: Graph, decomposition: Decomposition) -> list[int]:
+    """Subproblem positions steal mode re-splits at their own root.
+
+    Marking is pure cost-model arithmetic — deterministic across
+    ``n_jobs`` and repeats by construction.  Subproblems with fewer than
+    ``_MIN_RESPLIT_CANDIDATES`` root candidates are left alone.  The
+    caller decides *eligibility* (re-splitting needs the in-place X-aware
+    tier, the branch primitive :func:`solve_branch`); this function only
+    applies the cost rule.
+    """
+    threshold = resplit_threshold([s.cost for s in decomposition.subproblems])
+    marked: list[int] = []
+    for sub in decomposition.subproblems:
+        if sub.cost <= threshold:
+            continue
+        later, _ = subproblem_sets(g, decomposition.position,
+                                   decomposition.order[sub.position])
+        if len(later) >= _MIN_RESPLIT_CANDIDATES:
+            marked.append(sub.position)
+    return marked
+
+
+def _plan_splits(
+    g: Graph, decomposition: Decomposition, positions: tuple[int, ...],
+    n_jobs: int, start_index: int,
+) -> list[SplitTask]:
+    """Cut each marked subproblem's root branches into balanced parts.
+
+    Per-branch cost is ``|C_w| + 1`` (the branch's own candidate count):
+    the same linear proxy as the ``candidates`` cost model, cheap enough
+    to compute for every branch of every outlier.  Branches pack LPT into
+    up to ``n_jobs * STEAL_CHUNK_FACTOR`` parts per subproblem, and the
+    resulting tasks are ordered largest-first — they go to the *front* of
+    the dispatch queue, ahead of the ordinary chunks.
+    """
+    position, order, adj = decomposition.position, decomposition.order, g.adj
+    splits: list[SplitTask] = []
+    next_index = start_index
+    for p in positions:
+        v = order[p]
+        later, _ = subproblem_sets(g, position, v)
+        cands = sorted(later, key=lambda u: position[u])
+        branch_subs = [
+            Subproblem(
+                position=i, vertex=w,
+                cost=float(sum(1 for u in later & adj[w]
+                               if position[u] > position[w]) + 1),
+            )
+            for i, w in enumerate(cands)
+        ]
+        parts = min(len(cands), max(2, n_jobs * STEAL_CHUNK_FACTOR))
+        packed = sorted(make_chunks(branch_subs, parts, strategy="greedy"),
+                        key=lambda c: (-c.cost, c.index))
+        for part, chunk in enumerate(packed):
+            splits.append(SplitTask(
+                index=next_index, position=p, branches=chunk.positions,
+                part=part, parts=len(packed), cost=chunk.cost,
+            ))
+            next_index += 1
+    splits.sort(key=lambda t: (-t.cost, t.index))
+    return splits
+
+
+def plan_steal_schedule(
+    g: Graph, decomposition: Decomposition, n_jobs: int,
+    chunks_per_worker: int, *, strategy: str = DEFAULT_CHUNK_STRATEGY,
+    resplit_ok: bool = True,
+) -> tuple[list[Chunk], list[SplitTask], int]:
+    """The full steal-mode schedule for one decomposition.
+
+    Marks cost outliers (when ``resplit_ok`` — the request must be routed
+    to the in-place X-aware tier), packs the rest into small chunks in
+    dispatch order, and cuts the marked subproblems into split tasks.
+    Returns ``(chunks, splits, requested)`` where ``requested`` is the
+    chunk count the packing aimed for (the :func:`balance_ratio`
+    denominator).  Pure function of its inputs, so the service registry
+    caches the result per (graph, knobs) pair.
+    """
+    resplit = mark_resplit(g, decomposition) if resplit_ok else []
+    plan = plan_steal(
+        decomposition.subproblems, n_jobs, chunks_per_worker,
+        strategy=strategy, resplit=resplit,
+    )
+    splits = _plan_splits(g, decomposition, plan.resplit, n_jobs,
+                          len(plan.chunks))
+    requested = steal_chunk_count(
+        len(decomposition.subproblems) - len(plan.resplit),
+        n_jobs, chunks_per_worker,
+    )
+    return plan.chunks, splits, requested
+
+
+def _solve_split(
+    graph_state: GraphState, config: RequestConfig, task: SplitTask
+) -> ChunkResult:
+    """Run one part of a re-split subproblem; telemetry mirrors a chunk.
+
+    Each branch is :func:`solve_branch` with stem ``[v, w]``: candidates
+    are the later co-neighbours of ``w`` within ``later(v)``, the
+    exclusion set everything adjacent to ``w`` that an earlier branch or
+    an earlier subproblem owns.  No pivot is applied *at* the re-split
+    level — every candidate gets a branch, so parts are independently
+    computable — which trades a little duplicated fan-out (bounded: only
+    outliers are split) for per-branch parallelism.
+    """
+    worker = multiprocessing.current_process().name
+    started = time.monotonic()
+    cpu_start = time.process_time()
+    counters = Counters()
+    g = graph_state.graph
+    position, order = graph_state.position, graph_state.order
+    v = order[task.position]
+    later, earlier = subproblem_sets(g, position, v)
+    cands = sorted(later, key=lambda u: position[u])
+    bit_graph = graph_state.bit_graph(config.options) \
+        if config.options.get("backend") == "bitset" else None
+    from repro.api import get_algorithm  # deferred: api imports us lazily
+
+    phase_kwargs = get_algorithm(config.algorithm).subproblem_phase
+    adj = g.adj
+    cliques: list[tuple[int, ...]] = []
+    for i in task.branches:
+        w = cands[i]
+        pw = position[w]
+        reach = later & adj[w]
+        sub_c = {u for u in reach if position[u] > pw}
+        sub_x = (earlier & adj[w]) | {u for u in reach if position[u] < pw}
+        branch_cliques, branch_counters = solve_branch(
+            g, [v, w], sub_c, sub_x, phase_kwargs, config.options, bit_graph,
+        )
+        counters.merge(branch_counters)
+        cliques.extend(branch_cliques)
+    cliques.sort()
+    payload = count_payload(cliques) if config.mode == "count" else cliques
+    cpu_seconds = time.process_time() - cpu_start
+    finished = time.monotonic()
+    registry = MetricsRegistry()
+    registry.histogram("worker_chunk_cpu_seconds",
+                       labels={"worker": worker}).observe(cpu_seconds)
+    registry.counter("worker_chunks_total",
+                     labels={"worker": worker}).inc()
+    registry.fold_counters(counters)
+    span = None
+    if config.trace is not None:
+        span = span_record(
+            "split", context=config.trace,
+            span_id=f"split{task.position}.{task.part}",
+            start=started, seconds=finished - started,
+            worker_id=worker, chunk_id=task.index, position=task.position,
+            part=task.part, parts=task.parts, branches=len(task.branches),
+            cpu_seconds=cpu_seconds, counters=counters.as_dict(),
+        )
+    return ChunkResult(
+        chunk_index=task.index,
+        items=[(task.position, payload)],
+        counters=counters.as_dict(),
+        cpu_seconds=cpu_seconds,
+        worker=worker,
+        started=started,
+        finished=finished,
+        metrics=registry.as_dict(),
+        span=span,
+    )
+
+
+def _run_split(task) -> ChunkResult:
+    """Pool task: resolve the cached graph state and solve one split part."""
+    key, config, split = task
+    graph_state = _WORKER_GRAPHS.get(key)
+    if graph_state is None:  # pragma: no cover - defensive
+        raise RuntimeError(f"worker never received graph state {key!r}")
+    return _solve_split(graph_state, config, split)
+
+
+class _SplitMerger:
+    """Parent-side accumulator folding split parts back into one item.
+
+    The aggregators key strictly on subproblem position —
+    ``CollectAggregator`` *replaces* per position and ``received`` counts
+    one per item — so partial payloads must never reach them as items.
+    Earlier parts ship their telemetry with ``items=[]``; the merged
+    payload rides the final part's :class:`ChunkResult`.  Aggregator
+    semantics (and the completeness audit) are untouched by construction.
+    """
+
+    def __init__(self, splits: list[SplitTask], mode: str) -> None:
+        self._mode = mode
+        self._tasks = {t.index: t for t in splits}
+        self._payloads: dict[int, list] = {}
+        self._remaining = {t.position: t.parts for t in splits}
+
+    def owns(self, index: int) -> bool:
+        return index in self._tasks
+
+    def fold(self, result: ChunkResult) -> ChunkResult:
+        task = self._tasks[result.chunk_index]
+        parts = self._payloads.setdefault(task.position, [])
+        parts.append(result.items[0][1])
+        self._remaining[task.position] -= 1
+        if self._remaining[task.position]:
+            result.items = []
+        else:
+            result.items = [(task.position, self._merge(parts))]
+        return result
+
+    def _merge(self, payloads: list):
+        if self._mode == "count":
+            return (sum(p[0] for p in payloads),
+                    max(p[1] for p in payloads),
+                    sum(p[2] for p in payloads))
+        merged: list[tuple[int, ...]] = []
+        for p in payloads:
+            merged.extend(p)
+        merged.sort()
+        return merged
+
+
+@dataclass
+class SubmitReport:
+    """What one :meth:`WorkerPool.submit` did beyond the results.
+
+    ``steals`` counts tasks dispatched dynamically — pulled by a worker
+    that finished its share while other tasks were still queued (always 0
+    when the task count fits the initial window).  ``steals_by_worker``
+    attributes them to the worker that returned each stolen task.
+    """
+
+    steals: int = 0
+    steals_by_worker: dict[str, int] = field(default_factory=dict)
+    resplit_subproblems: int = 0
+    resplit_tasks: int = 0
+
+
+def record_steal_metrics(registry: MetricsRegistry,
+                         report: SubmitReport) -> None:
+    """Fold a submit's steal counts into a metrics registry."""
+    for worker, n in sorted(report.steals_by_worker.items()):
+        registry.counter("worker_steals_total",
+                         labels={"worker": worker}).inc(n)
 
 
 def _pool_context():
@@ -397,14 +718,25 @@ class WorkerPool:
         accept,
         *,
         tracer: Tracer | None = None,
-    ) -> None:
-        """Solve ``chunks`` against ``graph_state``, streaming results.
+        splits: list[SplitTask] | None = None,
+    ) -> SubmitReport:
+        """Solve ``chunks`` (and ``splits``) against ``graph_state``.
 
         ``accept`` is called with each :class:`ChunkResult` in arrival
         order (an :class:`repro.parallel.aggregate.Aggregator` re-orders).
         ``key`` identifies the graph state for the worker-side cache: the
         state is shipped only the first time a key is seen, so repeat
         submits with the same key are pure compute.
+
+        Execution is a dynamic shared queue, not a one-shot fan-out: at
+        most one task per worker is in flight, and each completion
+        dispatches the next task off the front of the list.  Task order
+        is therefore the schedule — steal mode passes chunks pre-sorted
+        largest-first with ``splits`` (parts of re-split outliers) ahead
+        of them, so the expensive work starts immediately and the small
+        chunks level the tail.  Every task dispatched beyond the initial
+        window counts as a *steal*, attributed to the worker that
+        returns it; the counts come back in the :class:`SubmitReport`.
 
         With a ``tracer`` the submit contributes a ``ship`` span (always
         present so traces have one shape; ``shipped`` records whether a
@@ -414,20 +746,31 @@ class WorkerPool:
         """
         if self._closed:
             raise RuntimeError("WorkerPool is closed")
-        if not chunks:
-            return
+        splits = list(splits or [])
+        report = SubmitReport(
+            resplit_subproblems=len({t.position for t in splits}),
+            resplit_tasks=len(splits),
+        )
+        if not chunks and not splits:
+            return report
+        merger = _SplitMerger(splits, config.mode)
+        n_tasks = len(chunks) + len(splits)
         if self.n_jobs == 1 \
-                or (self._pool is None and not self.warm and len(chunks) == 1):
+                or (self._pool is None and not self.warm and n_tasks == 1):
             # In-process path: no subprocesses, no shipping, same pipeline.
             with maybe_span(tracer, "ship", transport="inline",
                             shipped=False):
                 pass
             with maybe_span(tracer, "execute", transport="inline",
-                            n_chunks=len(chunks)):
+                            n_chunks=len(chunks), n_splits=len(splits),
+                            steal=config.steal):
+                for split in splits:
+                    accept(merger.fold(_solve_split(graph_state, config,
+                                                    split)))
                 for chunk in chunks:
                     accept(_solve_chunk(graph_state, config, chunk))
-            return
-        pool = self._ensure_pool(len(chunks))
+            return report
+        pool = self._ensure_pool(n_tasks)
         ship_needed = key not in self._states
         with maybe_span(tracer, "ship", transport=self.start_method,
                         shipped=ship_needed, workers=self._workers):
@@ -435,16 +778,87 @@ class WorkerPool:
                 # Barrier broadcast to the live workers: exactly one
                 # install per worker.  Recording the state afterwards
                 # keeps any later-respawned worker consistent (see
-                # _init_worker).
-                pool.map(_install_graph,
-                         [(key, graph_state)] * self._workers, chunksize=1)
+                # _init_worker).  The bounded get() pairs with the
+                # worker-side barrier timeout: a worker that died *after*
+                # consuming its install task took it to the grave — the
+                # map can then never complete, survivors' barrier errors
+                # notwithstanding — so the parent gives up shortly after
+                # the workers would have and surfaces one clean error
+                # instead of hanging the service lock forever.
+                broadcast = pool.map_async(
+                    _install_graph,
+                    [(key, graph_state)] * self._workers, chunksize=1,
+                )
+                try:
+                    broadcast.get(
+                        timeout=_BROADCAST_TIMEOUT + _BROADCAST_GRACE)
+                except multiprocessing.TimeoutError:
+                    self.close()
+                    raise WorkerPoolError(
+                        "graph broadcast did not complete within "
+                        f"{_BROADCAST_TIMEOUT + _BROADCAST_GRACE:.0f}s; a "
+                        "worker likely died before the rendezvous"
+                    ) from None
+                except WorkerPoolError:
+                    self.close()
+                    raise
                 self._states[key] = graph_state
                 self.graph_ships += 1
-        tasks = [(key, config, chunk) for chunk in chunks]
+        tasks = [("split", t) for t in splits] + [("chunk", c) for c in chunks]
         with maybe_span(tracer, "execute", transport=self.start_method,
-                        n_chunks=len(chunks)):
-            for result in pool.imap_unordered(_run_chunk, tasks):
-                accept(result)
+                        n_chunks=len(chunks), n_splits=len(splits),
+                        steal=config.steal) as execute_span:
+            self._dispatch(pool, key, config, tasks, merger, accept, report)
+            if tracer is not None:
+                execute_span.attrs.update(steals=report.steals)
+        return report
+
+    def _dispatch(self, pool, key, config, tasks, merger, accept,
+                  report) -> None:
+        """Shared dynamic queue: one task per worker in flight, pull on
+        completion.
+
+        ``apply_async`` callbacks (which run on the pool's result-handler
+        thread) feed a local queue the submitting thread drains; each
+        arrival dispatches the next task in list order.  Tasks sent after
+        the initial window are marked, and on return counted as steals of
+        the worker that executed them.
+        """
+        results: queue.SimpleQueue = queue.SimpleQueue()
+
+        def _send(i: int, dynamic: bool) -> None:
+            kind, obj = tasks[i]
+            fn = _run_split if kind == "split" else _run_chunk
+            if dynamic:
+                dynamic_indices.add(obj.index)
+            pool.apply_async(
+                fn, ((key, config, obj),),
+                callback=lambda r: results.put(("ok", r)),
+                error_callback=lambda e: results.put(("err", e)),
+            )
+
+        dynamic_indices: set[int] = set()
+        window = min(self._workers, len(tasks))
+        for i in range(window):
+            _send(i, False)
+        next_task = window
+        completed = 0
+        while completed < len(tasks):
+            status, payload = results.get()
+            if status == "err":
+                raise payload
+            completed += 1
+            if next_task < len(tasks):
+                _send(next_task, True)
+                next_task += 1
+            result = payload
+            if result.chunk_index in dynamic_indices:
+                report.steals += 1
+                report.steals_by_worker[result.worker] = \
+                    report.steals_by_worker.get(result.worker, 0) + 1
+            if merger.owns(result.chunk_index):
+                result = merger.fold(result)
+            accept(result)
 
     def close(self) -> None:
         """Shut the workers down; idempotent, pool unusable afterwards."""
@@ -507,6 +921,7 @@ def run_parallel(
     cost_model: str = DEFAULT_COST_MODEL,
     chunks_per_worker: int = 1,
     x_aware: bool = True,
+    steal: bool = False,
     stats: ParallelStats | None = None,
     trace: Tracer | None = None,
     **options,
@@ -533,10 +948,20 @@ def run_parallel(
     kept as an escape hatch and as the baseline the work-ratio regression
     tests compare against.
 
+    ``steal=True`` switches the scheduler to work-stealing mode: many
+    small chunks are packed (``STEAL_CHUNK_FACTOR`` times the static
+    count) and dispatched dynamically largest-first, and cost-model
+    outliers are re-split at their own root level so a single hub
+    subproblem no longer sets the critical path.  The enumerated cliques
+    and their fingerprint are identical to the static schedule by
+    construction (the re-split is the same X-aware decomposition one
+    level down — disjoint, complete, deterministic).
+
     ``trace=`` takes an :class:`repro.obs.trace.Tracer`: the run
     contributes ``decompose``/``pack``/``ship``/``execute`` spans plus
-    one grafted ``chunk`` span per chunk, and the folded paper counters
-    land on the trace root as the ``counters`` attribute.
+    one grafted ``chunk`` span per chunk (and a ``split`` span per
+    re-split part), and the folded paper counters land on the trace root
+    as the ``counters`` attribute.
     """
     n_jobs = validate_n_jobs(n_jobs)
     if trace is not None and not isinstance(trace, Tracer):
@@ -546,6 +971,10 @@ def run_parallel(
     if not isinstance(x_aware, bool):
         raise InvalidParameterError(
             f"x_aware must be a bool, got {x_aware!r}"
+        )
+    if not isinstance(steal, bool):
+        raise InvalidParameterError(
+            f"steal must be a bool, got {steal!r}"
         )
     if "initial_x" in options:
         raise InvalidParameterError(
@@ -561,14 +990,30 @@ def run_parallel(
 
     with maybe_span(trace, "decompose", cost_model=cost_model):
         decomposition = decompose(g, cost_model=cost_model)
-    with maybe_span(trace, "pack", strategy=chunk_strategy) as pack_span:
-        chunks = make_chunks(
-            decomposition.subproblems,
-            n_jobs * chunks_per_worker,
-            strategy=chunk_strategy,
-        )
+    with maybe_span(trace, "pack", strategy=chunk_strategy,
+                    steal=steal) as pack_span:
+        splits: list[SplitTask] = []
+        if steal:
+            resplit_ok = x_aware and uses_in_place_phase(algorithm, options)
+            chunks, splits, requested = plan_steal_schedule(
+                g, decomposition, n_jobs, chunks_per_worker,
+                strategy=chunk_strategy, resplit_ok=resplit_ok,
+            )
+        else:
+            chunks = make_chunks(
+                decomposition.subproblems,
+                n_jobs * chunks_per_worker,
+                strategy=chunk_strategy,
+            )
+            requested = min(n_jobs * chunks_per_worker,
+                            len(decomposition.subproblems))
         if trace is not None:
-            pack_span.attrs.update(chunk_summary(chunks))
+            pack_span.attrs.update(chunk_summary(chunks, requested))
+            if steal:
+                pack_span.attrs.update(
+                    resplit_subproblems=len({t.position for t in splits}),
+                    split_tasks=len(splits),
+                )
 
     graph_state = GraphState(
         graph=g,
@@ -580,6 +1025,7 @@ def run_parallel(
         options=options,
         mode=aggregator.mode,
         x_aware=x_aware,
+        steal=steal,
         trace=trace.current if trace is not None else None,
     )
 
@@ -587,10 +1033,11 @@ def run_parallel(
     key = "oneshot"
     pool = WorkerPool(n_jobs, preload=(key, graph_state))
     try:
-        pool.submit(key, graph_state, config, chunks, aggregator.accept,
-                    tracer=trace)
+        report = pool.submit(key, graph_state, config, chunks,
+                             aggregator.accept, tracer=trace, splits=splits)
     finally:
         pool.close()
+    record_steal_metrics(aggregator.metrics, report)
 
     if trace is not None:
         for record in aggregator.spans:
@@ -604,9 +1051,13 @@ def run_parallel(
         stats.chunk_strategy = chunk_strategy
         stats.cost_model = cost_model
         stats.x_aware = x_aware
+        stats.steal = steal
+        stats.steals = report.steals
+        stats.resplit_subproblems = report.resplit_subproblems
+        stats.resplit_tasks = report.resplit_tasks
         stats.start_method = pool.start_method
         stats.decompose_seconds = decomposition.seconds
-        stats.balance_ratio = balance_ratio(chunks)
+        stats.balance_ratio = balance_ratio(chunks, requested)
         stats.chunk_costs = [c.cost for c in chunks]
         stats.chunk_sizes = [len(c.positions) for c in chunks]
         stats.chunk_cpu_seconds = dict(aggregator.chunk_cpu_seconds)

@@ -26,11 +26,12 @@ from repro.graph.generators import load_dataset
 from repro.graph.io import load_graph
 from repro.obs import MetricsRegistry, Tracer, maybe_span, render_text
 from repro.parallel.aggregate import CollectAggregator, CountAggregator
-from repro.parallel.decompose import DEFAULT_COST_MODEL
+from repro.parallel.decompose import DEFAULT_COST_MODEL, uses_in_place_phase
 from repro.parallel.pool import (
     ParallelStats,
     RequestConfig,
     WorkerPool,
+    record_steal_metrics,
     validate_n_jobs,
     validate_parallel_options,
 )
@@ -125,7 +126,8 @@ class CliqueService:
     # Requests
     # ------------------------------------------------------------------
     def count(self, graph: str, *, algorithm: str = DEFAULT_ALGORITHM,
-              x_aware: bool = True, trace: bool = False, **options) -> dict:
+              x_aware: bool = True, steal: bool = False, trace: bool = False,
+              **options) -> dict:
         """Count the maximal cliques of a registered graph.
 
         ``trace=True`` adds a ``"trace"`` span tree (decompose → pack →
@@ -133,16 +135,21 @@ class CliqueService:
         timeline to the response.
         """
         aggregator = CountAggregator()
+
+        def finalize(result: dict, tracer: Tracer | None) -> None:
+            with maybe_span(tracer, "merge", mode=aggregator.mode):
+                result["count"] = aggregator.finish()
+            result["max_clique_size"] = aggregator.max_size
+
         result, tracer = self._execute("count", graph, aggregator, algorithm,
-                                       x_aware, trace, options)
-        with maybe_span(tracer, "merge", mode=aggregator.mode):
-            result["count"] = aggregator.finish()
-        result["max_clique_size"] = aggregator.max_size
+                                       x_aware, steal, trace, options,
+                                       finalize)
         return self._attach_trace(result, tracer)
 
     def enumerate(self, graph: str, *, algorithm: str = DEFAULT_ALGORITHM,
                   limit: int | None = None, x_aware: bool = True,
-                  trace: bool = False, **options) -> dict:
+                  steal: bool = False, trace: bool = False,
+                  **options) -> dict:
         """Enumerate the maximal cliques of a registered graph.
 
         ``limit`` truncates the returned list (the enumeration itself is
@@ -156,32 +163,40 @@ class CliqueService:
                     f"limit must be a non-negative integer, got {limit!r}"
                 )
         aggregator = CollectAggregator()
+
+        def finalize(result: dict, tracer: Tracer | None) -> None:
+            with maybe_span(tracer, "merge", mode=aggregator.mode):
+                cliques = aggregator.finish()
+            result["count"] = len(cliques)
+            shown = cliques if limit is None else cliques[:limit]
+            result["cliques"] = [list(c) for c in shown]
+            result["truncated"] = len(shown) < len(cliques)
+
         result, tracer = self._execute("enumerate", graph, aggregator,
-                                       algorithm, x_aware, trace, options)
-        with maybe_span(tracer, "merge", mode=aggregator.mode):
-            cliques = aggregator.finish()
-        result["count"] = len(cliques)
-        shown = cliques if limit is None else cliques[:limit]
-        result["cliques"] = [list(c) for c in shown]
-        result["truncated"] = len(shown) < len(cliques)
+                                       algorithm, x_aware, steal, trace,
+                                       options, finalize)
         return self._attach_trace(result, tracer)
 
     def fingerprint(self, graph: str, *, algorithm: str = DEFAULT_ALGORITHM,
-                    x_aware: bool = True, trace: bool = False,
-                    **options) -> dict:
+                    x_aware: bool = True, steal: bool = False,
+                    trace: bool = False, **options) -> dict:
         """SHA256 fingerprint of the canonical clique list.
 
         Byte-identical to ``clique_fingerprint(maximal_cliques(g, ...))``
         on the direct path — the golden-oracle check, served warm.
         """
         aggregator = CollectAggregator()
+
+        def finalize(result: dict, tracer: Tracer | None) -> None:
+            with maybe_span(tracer, "merge", mode=aggregator.mode):
+                cliques = aggregator.finish()
+                sha256 = clique_fingerprint(cliques)
+            result["count"] = len(cliques)
+            result["sha256"] = sha256
+
         result, tracer = self._execute("fingerprint", graph, aggregator,
-                                       algorithm, x_aware, trace, options)
-        with maybe_span(tracer, "merge", mode=aggregator.mode):
-            cliques = aggregator.finish()
-            sha256 = clique_fingerprint(cliques)
-        result["count"] = len(cliques)
-        result["sha256"] = sha256
+                                       algorithm, x_aware, steal, trace,
+                                       options, finalize)
         return self._attach_trace(result, tracer)
 
     @staticmethod
@@ -193,12 +208,27 @@ class CliqueService:
         return result
 
     def _execute(self, op: str, graph: str, aggregator, algorithm: str,
-                 x_aware, trace, options: dict) -> tuple[dict, Tracer | None]:
+                 x_aware, steal, trace, options: dict,
+                 finalize) -> tuple[dict, Tracer | None]:
+        """Run one request end to end under the service lock.
+
+        ``finalize`` is the operation's merge step (``aggregator.finish``
+        plus whatever digest the op derives from it); it runs *inside*
+        the observed duration, so ``service_request_seconds`` and the
+        response's ``seconds`` cover the full request — decompose through
+        merge — not just the fan-out.  (The old shape finished the
+        aggregator after the clock stopped, under-reporting
+        enumerate/fingerprint latency by the whole merge phase.)
+        """
         with self._lock:
             self._check_open()
             if not isinstance(x_aware, bool):
                 raise InvalidParameterError(
                     f"x_aware must be a bool, got {x_aware!r}"
+                )
+            if not isinstance(steal, bool):
+                raise InvalidParameterError(
+                    f"steal must be a bool, got {steal!r}"
                 )
             if not isinstance(trace, bool):
                 raise InvalidParameterError(
@@ -226,27 +256,53 @@ class CliqueService:
                 decomposition = self.registry.decomposition(
                     entry, self.cost_model)
             decompose_seconds = time.perf_counter() - start
-            with maybe_span(tracer, "pack",
-                            strategy=self.chunk_strategy) as pack_span:
-                chunks = self.registry.chunks(
-                    entry, self.cost_model, self.chunk_strategy,
-                    self.n_jobs * self.chunks_per_worker,
-                )
+            with maybe_span(tracer, "pack", strategy=self.chunk_strategy,
+                            steal=steal) as pack_span:
+                splits = []
+                if steal:
+                    resplit_ok = x_aware and uses_in_place_phase(
+                        algorithm, options)
+                    chunks, splits, requested = self.registry.steal_plan(
+                        entry, self.cost_model, self.chunk_strategy,
+                        self.n_jobs, self.chunks_per_worker, resplit_ok,
+                    )
+                else:
+                    chunks = self.registry.chunks(
+                        entry, self.cost_model, self.chunk_strategy,
+                        self.n_jobs * self.chunks_per_worker,
+                    )
+                    requested = min(self.n_jobs * self.chunks_per_worker,
+                                    len(decomposition.subproblems))
                 if tracer is not None:
-                    pack_span.attrs.update(chunk_summary(chunks))
+                    pack_span.attrs.update(chunk_summary(chunks, requested))
             config = RequestConfig(
                 algorithm=algorithm, options=options,
-                mode=aggregator.mode, x_aware=x_aware,
+                mode=aggregator.mode, x_aware=x_aware, steal=steal,
                 trace=tracer.current if tracer is not None else None,
             )
             aggregator.start(len(decomposition.subproblems))
-            self._pool.submit(entry.fingerprint, entry.graph_state, config,
-                              chunks, aggregator.accept, tracer=tracer)
-            seconds = time.perf_counter() - start
+            report = self._pool.submit(entry.fingerprint, entry.graph_state,
+                                       config, chunks, aggregator.accept,
+                                       tracer=tracer, splits=splits)
+            record_steal_metrics(aggregator.metrics, report)
 
             warm = (self._pool.spinups == spinups
                     and self._pool.graph_ships == ships
                     and self.registry.stats.decompose_calls == decomposes)
+
+            result = {
+                "graph": entry.fingerprint,
+                "name": entry.name,
+                "algorithm": algorithm,
+                "n_jobs": self.n_jobs,
+                "warm": warm,
+            }
+            # The merge phase belongs to the request: run it before the
+            # duration is captured so the committed latency covers it.
+            finalize(result, tracer)
+            seconds = time.perf_counter() - start
+            result["seconds"] = seconds
+
             self._requests += 1
             if warm:
                 self._warm_requests += 1
@@ -254,8 +310,8 @@ class CliqueService:
 
             # Registry-side accounting.  The aggregator's registry already
             # carries each worker's fold (chunk CPU histograms, mce_*
-            # branch counters), so the merge — not a re-fold — keeps the
-            # totals single-counted.
+            # branch counters, steal counts), so the merge — not a
+            # re-fold — keeps the totals single-counted.
             self.metrics.counter("service_requests_total",
                                  labels={"op": op}).inc()
             if warm:
@@ -269,14 +325,6 @@ class CliqueService:
                     tracer.attach(record)
                 tracer.annotate(counters=aggregator.counters.as_dict())
 
-            result = {
-                "graph": entry.fingerprint,
-                "name": entry.name,
-                "algorithm": algorithm,
-                "n_jobs": self.n_jobs,
-                "seconds": seconds,
-                "warm": warm,
-            }
             if tracer is not None:
                 stats = ParallelStats(
                     n_jobs=self.n_jobs,
@@ -286,6 +334,10 @@ class CliqueService:
                     cost_model=self.cost_model,
                     start_method=self._pool.start_method,
                     x_aware=x_aware,
+                    steal=steal,
+                    steals=report.steals,
+                    resplit_subproblems=report.resplit_subproblems,
+                    resplit_tasks=report.resplit_tasks,
                     decompose_seconds=decompose_seconds,
                     chunk_cpu_seconds=dict(aggregator.chunk_cpu_seconds),
                     timeline=list(aggregator.timeline),
@@ -293,6 +345,10 @@ class CliqueService:
                 result["timeline"] = [e.as_dict() for e in stats.timeline]
                 result["parallel"] = {
                     "n_chunks": stats.n_chunks,
+                    "steal": stats.steal,
+                    "steals": stats.steals,
+                    "resplit_subproblems": stats.resplit_subproblems,
+                    "resplit_tasks": stats.resplit_tasks,
                     "decompose_seconds": stats.decompose_seconds,
                     "total_cpu_seconds": stats.total_cpu_seconds,
                     "critical_path_seconds": stats.critical_path_seconds,
@@ -323,6 +379,8 @@ class CliqueService:
                 "decompose_cache_hits": reg.decompose_cache_hits,
                 "chunk_builds": reg.chunk_builds,
                 "chunk_cache_hits": reg.chunk_cache_hits,
+                "steal_plan_builds": reg.steal_plan_builds,
+                "steal_plan_cache_hits": reg.steal_plan_cache_hits,
                 "pool_spinups": self._pool.spinups,
                 "graph_ships": self._pool.graph_ships,
                 "pool_live": self._pool.is_live,

@@ -26,7 +26,7 @@ from repro.exceptions import InvalidParameterError
 from repro.graph.adjacency import Graph
 from repro.graph.coreness import core_decomposition
 from repro.parallel.decompose import COST_MODELS, Decomposition, decompose
-from repro.parallel.pool import GraphState
+from repro.parallel.pool import GraphState, SplitTask, plan_steal_schedule
 from repro.parallel.scheduler import Chunk, make_chunks
 
 
@@ -52,6 +52,8 @@ class RegistryStats:
     decompose_cache_hits: int = 0
     chunk_builds: int = 0
     chunk_cache_hits: int = 0
+    steal_plan_builds: int = 0
+    steal_plan_cache_hits: int = 0
 
 
 @dataclass
@@ -77,6 +79,8 @@ class GraphEntry:
     registered_at: float = field(default_factory=time.time)
     _decompositions: dict[str, Decomposition] = field(default_factory=dict)
     _chunks: dict[tuple, list[Chunk]] = field(default_factory=dict)
+    _steal_plans: dict[tuple, tuple[list[Chunk], list[SplitTask], int]] = \
+        field(default_factory=dict)
 
     def info(self) -> dict:
         """JSON-ready summary of this entry."""
@@ -195,3 +199,35 @@ class GraphRegistry:
         self.stats.chunk_builds += 1
         entry._chunks[key] = chunks
         return chunks
+
+    def steal_plan(
+        self,
+        entry: GraphEntry,
+        cost_model: str,
+        strategy: str,
+        n_jobs: int,
+        chunks_per_worker: int,
+        resplit_ok: bool,
+    ) -> tuple[list[Chunk], list[SplitTask], int]:
+        """The entry's steal-mode schedule for the given knobs, cached.
+
+        Two variants exist per knob set: with re-splitting (requests
+        routed to the in-place X-aware tier) and without (algorithms or
+        option mixes the branch primitive cannot serve) — ``resplit_ok``
+        picks the variant, so algorithm-dependent eligibility never
+        poisons the cache.
+        """
+        key = (cost_model, strategy, n_jobs, chunks_per_worker,
+               bool(resplit_ok))
+        cached = entry._steal_plans.get(key)
+        if cached is not None:
+            self.stats.steal_plan_cache_hits += 1
+            return cached
+        decomposition = self.decomposition(entry, cost_model)
+        plan = plan_steal_schedule(
+            entry.graph, decomposition, n_jobs, chunks_per_worker,
+            strategy=strategy, resplit_ok=resplit_ok,
+        )
+        self.stats.steal_plan_builds += 1
+        entry._steal_plans[key] = plan
+        return plan

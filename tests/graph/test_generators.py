@@ -91,6 +91,37 @@ class TestBarabasiAlbert:
             holme_kim(20, 2, 1.5, seed=0)
 
 
+class TestBaHeavyHub:
+    def test_deterministic_and_sized(self):
+        from repro.graph.generators import ba_heavy_hub
+
+        a = ba_heavy_hub(200, 3, hub_parts=4, hub_part_size=3, seed=7)
+        b = ba_heavy_hub(200, 3, hub_parts=4, hub_part_size=3, seed=7)
+        assert a.n == 200
+        assert sorted(a.edges()) == sorted(b.edges())
+
+    def test_hub_owns_the_transversal_cliques(self):
+        # The point of the family: the hub peels before its pocket, so
+        # one degeneracy subproblem owns all part_size**parts transversal
+        # cliques.  Assert the clique population exists at the expected
+        # scale (pocket transversals dominate the total).
+        from repro.api import count_maximal_cliques
+        from repro.graph.generators import ba_heavy_hub
+
+        g = ba_heavy_hub(200, 3, hub_parts=4, hub_part_size=3, seed=7)
+        assert count_maximal_cliques(g) >= 3 ** 4
+
+    def test_bad_parameters(self):
+        from repro.graph.generators import ba_heavy_hub
+
+        with pytest.raises(InvalidParameterError):
+            ba_heavy_hub(200, 3, hub_parts=1)
+        with pytest.raises(InvalidParameterError):
+            ba_heavy_hub(200, 3, hub_part_size=1)
+        with pytest.raises(InvalidParameterError):
+            ba_heavy_hub(20, 3)  # planted structure does not fit
+
+
 class TestStructured:
     def test_moon_moser_clique_count_structure(self):
         g = moon_moser(3)

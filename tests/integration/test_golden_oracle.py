@@ -81,3 +81,14 @@ def test_filtering_decomposition_reproduces_golden(name):
     """The x_aware=False escape hatch hits the same fingerprints."""
     g = _graph(name)
     _check(name, maximal_cliques(g, n_jobs=2, x_aware=False))
+
+
+@pytest.mark.parametrize("n_jobs", [1, 2])
+@pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+@pytest.mark.parametrize("name", sorted(GOLDEN))
+def test_steal_schedule_reproduces_golden(name, algorithm, n_jobs):
+    """Work stealing is a scheduling change: same fingerprints, always."""
+    g = _graph(name)
+    for options in _backend_options(algorithm):
+        _check(name, maximal_cliques(g, algorithm=algorithm, n_jobs=n_jobs,
+                                     steal=True, **options))

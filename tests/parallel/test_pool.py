@@ -1,24 +1,31 @@
 """Unit tests for the worker-pool driver and its validation surface."""
 
+import os
+import time
+
 import pytest
 
 from repro.api import count_maximal_cliques, enumerate_to_sink, maximal_cliques
 from repro.core.result import CliqueCollector
-from repro.exceptions import InvalidParameterError
+from repro.exceptions import InvalidParameterError, WorkerPoolError
 from repro.graph.adjacency import Graph
-from repro.graph.generators import erdos_renyi_gnm
+from repro.graph.generators import ba_heavy_hub, erdos_renyi_gnm
 from repro.parallel import (
+    ChunkResult,
     CollectAggregator,
     CountAggregator,
     GraphState,
     ParallelStats,
     RequestConfig,
+    SplitTask,
     WorkerPool,
     parse_jobs,
     run_parallel,
     validate_n_jobs,
 )
+from repro.parallel import pool as pool_module
 from repro.parallel.decompose import decompose
+from repro.parallel.pool import _SplitMerger, _solve_chunk
 from repro.parallel.scheduler import make_chunks
 
 
@@ -245,6 +252,177 @@ class TestWorkerPool:
         pool.close()  # idempotent
         with pytest.raises(RuntimeError):
             self._submit(pool, "g", state, chunks)
+
+
+class TestMonotonicStamps:
+    def test_solve_chunk_wall_survives_wall_clock_step(self, graph,
+                                                       monkeypatch):
+        # Regression: chunk stamps come from time.monotonic(); an NTP
+        # step moving time.time() backwards mid-chunk used to yield
+        # negative wall_seconds on the timeline.
+        real = time.time()
+        ticks = iter([real, real - 3600.0])
+        monkeypatch.setattr(time, "time",
+                            lambda: next(ticks, real - 3600.0))
+        state, decomposition = _graph_state(graph)
+        chunks = make_chunks(decomposition.subproblems, 1)
+        config = RequestConfig(algorithm="hbbmc++", options={}, mode="count")
+        result = _solve_chunk(state, config, chunks[0])
+        assert result.finished >= result.started
+
+    def test_timeline_events_have_nonnegative_wall(self, graph):
+        stats = ParallelStats()
+        run_parallel(graph, CountAggregator(), algorithm="hbbmc++",
+                     n_jobs=2, stats=stats)
+        assert stats.timeline
+        assert all(e.wall_seconds >= 0.0 for e in stats.timeline)
+
+
+def _poison_unpickle(flag_path):
+    """Unpickle hook: the first worker to load the state dies instantly.
+
+    The flag file makes the kill exactly-once (``"x"`` mode is the atomic
+    claim), so respawned or sibling workers proceed — the scenario is one
+    dead worker, not a dying herd.  ``os._exit`` skips all cleanup, the
+    closest stand-in for a SIGKILLed worker.
+    """
+    try:
+        open(flag_path, "x").close()
+    except FileExistsError:
+        return object()
+    os._exit(1)
+
+
+class _PoisonState:
+    """Pickles like a graph state; killing happens on worker-side load."""
+
+    def __init__(self, flag_path):
+        self.flag_path = flag_path
+
+    def __reduce__(self):
+        return (_poison_unpickle, (self.flag_path,))
+
+
+class TestBroadcastHang:
+    def test_worker_death_before_rendezvous_raises_not_hangs(
+            self, graph, tmp_path, monkeypatch):
+        # A worker that dies mid-broadcast takes its install task to the
+        # grave: the barrier can never fill and the map can never
+        # complete.  Both sides are bounded now — the survivors' barrier
+        # wait and the parent's map get — so the submit must surface
+        # WorkerPoolError instead of parking the service lock forever.
+        monkeypatch.setattr(pool_module, "_BROADCAST_TIMEOUT", 2.0)
+        monkeypatch.setattr(pool_module, "_BROADCAST_GRACE", 1.0)
+        state, decomposition = _graph_state(graph)
+        chunks = make_chunks(decomposition.subproblems, 4)
+        config = RequestConfig(algorithm="hbbmc++", options={}, mode="count")
+        poison = _PoisonState(str(tmp_path / "killed"))
+        pool = WorkerPool(2, warm=True)
+        try:
+            start = time.monotonic()
+            with pytest.raises(WorkerPoolError):
+                pool.submit("g", poison, config, chunks, lambda r: None)
+            assert time.monotonic() - start < 30.0
+            # The pool closed itself: reuse fails loudly, not silently.
+            with pytest.raises(RuntimeError):
+                pool.submit("g", state, config, chunks, lambda r: None)
+        finally:
+            pool.close()
+
+
+class TestStealMode:
+    @pytest.fixture(scope="class")
+    def hub(self):
+        return ba_heavy_hub(200, 3, hub_parts=4, hub_part_size=3, seed=7)
+
+    @pytest.fixture(scope="class")
+    def hub_reference(self, hub):
+        return maximal_cliques(hub)
+
+    def test_steal_matches_static(self, hub, hub_reference):
+        agg = CollectAggregator()
+        stats = ParallelStats()
+        run_parallel(hub, agg, algorithm="hbbmc++", n_jobs=2, steal=True,
+                     stats=stats)
+        assert sorted(agg.finish()) == hub_reference
+        assert stats.steal is True
+        assert stats.resplit_subproblems >= 1
+        assert stats.resplit_tasks >= stats.resplit_subproblems
+        assert stats.steals > 0  # many small chunks, window of 2
+
+    def test_steal_inline_matches(self, hub, hub_reference):
+        agg = CollectAggregator()
+        stats = ParallelStats()
+        run_parallel(hub, agg, algorithm="hbbmc++", n_jobs=1, steal=True,
+                     stats=stats)
+        assert sorted(agg.finish()) == hub_reference
+        assert stats.steals == 0  # inline path dispatches nothing
+
+    def test_steal_count_mode(self, hub, hub_reference):
+        agg = CountAggregator()
+        run_parallel(hub, agg, algorithm="hbbmc++", n_jobs=2, steal=True)
+        assert agg.finish() == len(hub_reference)
+
+    def test_steal_rejects_non_bool(self, hub):
+        with pytest.raises(InvalidParameterError):
+            run_parallel(hub, CountAggregator(), algorithm="hbbmc++",
+                         n_jobs=2, steal="yes")
+
+    def test_api_steal_requires_n_jobs(self, graph):
+        with pytest.raises(InvalidParameterError):
+            maximal_cliques(graph, steal=True)
+
+    def test_api_steal_roundtrip(self, graph, reference):
+        assert maximal_cliques(graph, n_jobs=2, steal=True) == reference
+        assert count_maximal_cliques(graph, n_jobs=2,
+                                     steal=True) == len(reference)
+
+    def test_dynamic_dispatch_counts_steals(self, graph, reference):
+        state, decomposition = _graph_state(graph)
+        chunks = make_chunks(decomposition.subproblems, 8)
+        config = RequestConfig(algorithm="hbbmc++", options={}, mode="count")
+        with WorkerPool(2, warm=True) as pool:
+            agg = CountAggregator()
+            agg.start(sum(len(c.positions) for c in chunks))
+            report = pool.submit("g", state, config, chunks, agg.accept)
+            assert agg.finish() == len(reference)
+            # Window of 2 in flight; the other 6 are dynamic pulls.
+            assert report.steals == len(chunks) - 2
+            assert sum(report.steals_by_worker.values()) == report.steals
+
+
+class TestSplitMerger:
+    def _tasks(self):
+        return [
+            SplitTask(index=5, position=3, branches=(0,), part=0, parts=2,
+                      cost=1.0),
+            SplitTask(index=6, position=3, branches=(1,), part=1, parts=2,
+                      cost=1.0),
+        ]
+
+    def _result(self, index, payload):
+        return ChunkResult(chunk_index=index, items=[(3, payload)])
+
+    def test_collect_mode_merges_sorted_on_last_part(self):
+        merger = _SplitMerger(self._tasks(), "collect")
+        assert merger.owns(5) and merger.owns(6) and not merger.owns(0)
+        first = merger.fold(self._result(5, [(1, 2), (4, 5)]))
+        assert first.items == []  # partial payloads never reach aggregators
+        last = merger.fold(self._result(6, [(0, 3)]))
+        assert last.items == [(3, [(0, 3), (1, 2), (4, 5)])]
+
+    def test_count_mode_sums_counts_and_maxes_size(self):
+        merger = _SplitMerger(self._tasks(), "count")
+        merger.fold(self._result(5, (2, 3, 10)))
+        last = merger.fold(self._result(6, (4, 5, 20)))
+        assert last.items == [(3, (6, 5, 30))]
+
+    def test_arrival_order_does_not_matter(self):
+        merger = _SplitMerger(self._tasks(), "collect")
+        first = merger.fold(self._result(6, [(0, 3)]))
+        assert first.items == []
+        last = merger.fold(self._result(5, [(1, 2)]))
+        assert last.items == [(3, [(0, 3), (1, 2)])]
 
 
 class TestApiIntegration:

@@ -146,6 +146,18 @@ class TestHandleRequest:
         assert response["cliques"] == [[0, 1, 2, 3]]
         assert not response["truncated"]
 
+    def test_steal_knob_round_trips(self, service):
+        handle_request(service, {"op": "register", "n": 4,
+                                 "edges": K4_EDGES, "name": "k4"})
+        for op in ("count", "enumerate", "fingerprint"):
+            response, _ = handle_request(
+                service, {"op": op, "graph": "k4", "steal": True})
+            assert response["ok"], response
+            assert response["count"] == 1
+        response, _ = handle_request(
+            service, {"op": "count", "graph": "k4", "steal": 1})
+        assert not response["ok"] and "steal" in response["error"]
+
 
 class TestStdioTransport:
     def _drive(self, service, lines):

@@ -217,6 +217,61 @@ class TestRequestSurface:
             CliqueService(chunks_per_worker=0)
 
 
+class TestStealRequests:
+    @pytest.fixture(scope="class")
+    def hub(self):
+        from repro.graph.generators import ba_heavy_hub
+
+        return ba_heavy_hub(200, 3, hub_parts=4, hub_part_size=3, seed=7)
+
+    def test_steal_matches_static_across_ops(self, hub):
+        reference = maximal_cliques(hub)
+        with CliqueService(n_jobs=2) as service:
+            service.register(hub, name="hub")
+            count = service.count("hub", steal=True)
+            cliques = service.enumerate("hub", steal=True)["cliques"]
+            fingerprint = service.fingerprint("hub", steal=True)["sha256"]
+        assert count["count"] == len(reference)
+        # The service streams cliques in subproblem-position order;
+        # canonically sorted they must match the direct path exactly.
+        assert sorted(tuple(c) for c in cliques) == reference
+        assert fingerprint == clique_fingerprint(reference)
+
+    def test_steal_plan_is_cached(self, hub):
+        with CliqueService(n_jobs=2) as service:
+            service.register(hub, name="hub")
+            service.count("hub", steal=True)
+            after_first = service.stats()
+            service.count("hub", steal=True)
+            stats = service.stats()
+        assert after_first["steal_plan_builds"] == 1
+        assert after_first["steal_plan_cache_hits"] == 0
+        assert stats["steal_plan_builds"] == 1
+        assert stats["steal_plan_cache_hits"] == 1
+
+    def test_traced_steal_request_reports_schedule(self, hub):
+        with CliqueService(n_jobs=2) as service:
+            service.register(hub, name="hub")
+            result = service.count("hub", steal=True, trace=True)
+        parallel = result["parallel"]
+        assert parallel["steal"] is True
+        assert parallel["resplit_subproblems"] >= 1
+        assert parallel["resplit_tasks"] >= parallel["resplit_subproblems"]
+        assert parallel["steals"] > 0
+        def names(span):
+            yield span["name"]
+            for child in span.get("children", []):
+                yield from names(child)
+
+        assert "split" in set(names(result["trace"]))
+
+    def test_steal_rejects_non_bool(self, graph):
+        with CliqueService() as service:
+            service.register(graph, name="g")
+            with pytest.raises(InvalidParameterError):
+                service.count("g", steal=1)
+
+
 class TestShutdown:
     def test_clean_shutdown_is_idempotent(self, graph):
         service = CliqueService(n_jobs=2)
