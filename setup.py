@@ -1,4 +1,4 @@
-"""Setup shim.
+"""Setup shim and project metadata.
 
 The environment has setuptools but no ``wheel`` package (and no network to
 fetch it), so PEP-517 editable installs fail on ``bdist_wheel``.  This shim
@@ -6,9 +6,29 @@ enables the legacy path::
 
     pip install -e . --no-build-isolation --no-use-pep517
 
-All project metadata lives in ``pyproject.toml``.
+Dependencies: the core package and the ``set``/``bitset`` backends are
+stdlib-only.  ``backend="words"`` needs NumPy — any version with ``uint64``
+ufuncs works (>= 1.22 tested); on NumPy >= 2.0 popcounts use the native
+``np.bitwise_count``, older versions take the pure-NumPy SWAR fallback in
+``repro.graph.wordadj`` (``select_popcount`` picks at import time).
 """
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro-mce",
+    version="0.9.0",
+    description=("Maximal clique enumeration with hybrid branching and "
+                 "early termination (ICDE 2025 reproduction)"),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.11",
+    install_requires=[],
+    extras_require={
+        # The word-packed backend only; everything else is stdlib-only.
+        "words": ["numpy>=1.22"],
+    },
+    entry_points={
+        "console_scripts": ["repro-mce=repro.cli:main"],
+    },
+)

@@ -6,11 +6,14 @@ enumeration frameworks the paper evaluates.  Both stream maximal cliques to
 a caller-provided sink and return the run's :class:`Counters`.
 
 Both entry points accept ``backend="set"`` (the default ``set``-based
-branch state) or ``backend="bitset"`` (bitmask branch state, see
-:mod:`repro.graph.bitadj`).  The two backends enumerate identical clique
-sets (and agree on ``Counters.emitted``); because pivot degree-ties
+branch state), ``backend="bitset"`` (``int`` bitmask branch state, see
+:mod:`repro.graph.bitadj`) or ``backend="words"`` (NumPy ``uint64`` word
+rows, see :mod:`repro.graph.wordadj`).  All backends enumerate identical
+clique sets (and agree on ``Counters.emitted``); because pivot degree-ties
 resolve in different scan orders, per-branch instrumentation counters may
-differ by a few counts between them.
+differ by a few counts between the set backend and the mask backends.
+The two mask backends execute the same decision sequence branch for
+branch, so *their* counters agree exactly.
 
 Both also accept ``initial_x``, a set of vertex ids seeded into the
 exclusion set of the initial branch: the run then enumerates exactly the
@@ -32,6 +35,11 @@ from repro.core.result import CliqueSink, suppressing_sink
 from repro.exceptions import InvalidParameterError
 from repro.graph.adjacency import Graph
 from repro.graph.orderings import edge_ordering, vertex_ordering
+
+
+#: Backends whose branch state is bit-packed (and thus accept a
+#: ``bit_order``): the ``int``-mask backend and the NumPy word backend.
+_MASK_BACKENDS = ("bitset", "words")
 
 
 def _counting(sink: CliqueSink, counters: Counters) -> CliqueSink:
@@ -62,10 +70,11 @@ def _validate_run_options(et_threshold: int, backend: str,
     if bit_order is not None:
         from repro.graph.bitadj import BIT_ORDERS
 
-        if backend != "bitset":
+        if backend not in _MASK_BACKENDS:
             raise InvalidParameterError(
-                "bit_order selects the bitmask packing and requires "
-                "backend='bitset'"
+                "bit_order selects the bitmask packing and requires a "
+                "mask backend (backend='bitset' or backend='words'); "
+                f"got backend={backend!r}"
             )
         if isinstance(bit_order, str) and bit_order not in BIT_ORDERS:
             raise InvalidParameterError(
@@ -188,11 +197,11 @@ def run_hybrid(
         edge_order_kind: "truss" (default), "degen-lex" or "min-degree".
         vertex_strategy: phase used below the edge levels — "tomita",
             "ref", "rcd", "fac" or "none".
-        backend: branch-state representation, "set" or "bitset".
-        bit_order: bitmask packing for ``backend="bitset"`` — "degeneracy"
+        backend: branch-state representation, "set", "bitset" or "words".
+        bit_order: bitmask packing for the mask backends — "degeneracy"
             (the default: dense core in the low words), "input" (identity)
-            or an explicit vertex permutation.  Requires the bitset
-            backend.
+            or an explicit vertex permutation.  Requires ``bitset`` or
+            ``words``.
         initial_x: vertex ids seeded into the initial branch's exclusion
             set; the run then reports the maximal cliques of
             ``G[V \\ initial_x]`` that no ``initial_x`` vertex extends.
@@ -215,8 +224,8 @@ def run_hybrid(
     if work.n == 0:
         return counters  # the empty graph has no maximal cliques
 
-    bg = core = None
-    if backend == "bitset":
+    bg = core = wg = None
+    if backend in _MASK_BACKENDS:
         bg, inner_sink, core = _bit_view(work, bit_order, inner_sink)
     ctx = make_context(
         inner_sink,
@@ -225,6 +234,10 @@ def run_hybrid(
         vertex_strategy=vertex_strategy,
         backend=backend,
     )
+    if backend == "words":
+        from repro.graph.wordadj import WordGraph
+
+        wg = WordGraph(bg)
     if initial_x:
         C = set(work.vertices()) - initial_x
         if not C:
@@ -233,7 +246,14 @@ def run_hybrid(
         # `work` itself, feeding the exclusion sets.
         ordering = edge_ordering(_candidate_edge_graph(work, C),
                                  edge_order_kind)
-        if backend == "bitset":
+        if backend == "words":
+            from repro.core.word_edge_engine import word_run_edge_root_with_x
+
+            word_run_edge_root_with_x(work, wg,
+                                      bg.mask_of_vertices(C),
+                                      bg.mask_of_vertices(initial_x),
+                                      ordering, edge_depth, ctx)
+        elif backend == "bitset":
             from repro.core.bit_edge_engine import bit_run_edge_root_with_x
 
             bit_run_edge_root_with_x(work, bg,
@@ -246,7 +266,11 @@ def run_hybrid(
         return counters
 
     ordering = edge_ordering(work, edge_order_kind)
-    if backend == "bitset":
+    if backend == "words":
+        from repro.core.word_edge_engine import word_run_edge_root
+
+        word_run_edge_root(work, wg, ordering, edge_depth, ctx, core=core)
+    elif backend == "bitset":
         from repro.core.bit_edge_engine import bit_run_edge_root
 
         bit_run_edge_root(work, bg, ordering, edge_depth, ctx, core=core)
@@ -280,8 +304,8 @@ def run_vertex(
         et_threshold: t for early termination (0 disables, max 3).
         graph_reduction: peel low-degree vertices first (GR).  Bypassed
             when ``initial_x`` is non-empty.
-        backend: branch-state representation, "set" or "bitset".
-        bit_order: bitmask packing for ``backend="bitset"`` — "degeneracy"
+        backend: branch-state representation, "set", "bitset" or "words".
+        bit_order: bitmask packing for the mask backends — "degeneracy"
             (the default), "input" or an explicit vertex permutation.
         initial_x: vertex ids seeded into the initial branch's exclusion
             set; the run then reports the maximal cliques of
@@ -302,7 +326,7 @@ def run_vertex(
         return counters  # the empty graph has no maximal cliques
 
     bg = core = None
-    if backend == "bitset":
+    if backend in _MASK_BACKENDS:
         bg, inner_sink, core = _bit_view(work, bit_order, inner_sink)
     ctx = make_context(
         inner_sink,
@@ -311,6 +335,16 @@ def run_vertex(
         vertex_strategy=vertex_strategy,
         backend=backend,
     )
+    if backend == "words":
+        # The word backend reuses the bitset root driver verbatim: the
+        # bridge context lifts each root's mask branch into word space
+        # (or keeps it on the bit twin below the dispatch threshold).
+        from repro.core.word_phases import make_word_bridge
+        from repro.graph.wordadj import WordGraph
+
+        bridge = make_word_bridge(ctx, WordGraph(bg))
+        return _run_vertex_bitset(work, ordering_kind, bridge, counters,
+                                  initial_x, bg, core)
     if backend == "bitset":
         return _run_vertex_bitset(work, ordering_kind, ctx, counters,
                                   initial_x, bg, core)

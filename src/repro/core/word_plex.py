@@ -1,0 +1,40 @@
+"""Word-backend early-termination construction (``backend="words"``).
+
+The Section IV plex construction (Algorithms 6-8) is output-bound: once a
+branch is verified as a t-plex, the work is per-clique list assembly from
+the cached path/cycle index patterns — there is no mask arithmetic left for
+a word representation to vectorise.  The words backend therefore verifies
+plexes on its vectorised degree scans (:mod:`repro.core.word_phases`) and
+fires them through the audited bit-native construction in
+:mod:`repro.core.bit_plex`, converting the candidate row to an ``int`` mask
+exactly once per fired branch.
+
+The delegation resolves ``bit_fire_plex`` through
+:mod:`repro.core.bit_phases` at call time, so
+:func:`repro.core.bit_plex.et_implementation` swaps (the roundtrip oracle,
+the differential suite's capturing wrappers) govern this backend too.
+"""
+
+from __future__ import annotations
+
+from repro.core import bit_phases
+from repro.graph.wordadj import WordGraph, row_to_int
+
+
+def word_fire_plex(
+    S: list[int],
+    C,
+    cand: WordGraph,
+    ctx,
+    min_cand_degree: int | None = None,
+) -> None:
+    """Emit every maximal clique of a verified plex branch (word state).
+
+    ``C`` is a ``uint64`` word row; ``cand`` is the branch's
+    :class:`WordGraph` (word phases are always same-view).  Counter
+    semantics, emission order and the ``min_cand_degree`` clique fast path
+    are exactly those of :func:`repro.core.bit_plex.bit_fire_plex`.
+    """
+    bit_phases.bit_fire_plex(
+        S, row_to_int(C), cand.bit.masks, ctx, min_cand_degree
+    )

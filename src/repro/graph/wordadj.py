@@ -1,0 +1,243 @@
+"""Word-packed adjacency: neighbourhoods as NumPy ``uint64`` word arrays.
+
+The third backend column (``backend="words"``) stores every vertex set as a
+row of ``ceil(n / 64)`` little-endian ``uint64`` words instead of one
+arbitrary-precision Python ``int``.  The BBMC observation (San Segundo et
+al., PAPERS.md) then applies literally: candidate intersection is one
+vectorised ``np.bitwise_and`` over the row, cardinality is one vectorised
+popcount — no per-operation object allocation, no digit-loop interpreter
+round-trips.
+
+:class:`WordGraph` wraps the existing :class:`repro.graph.bitadj.BitGraph`
+(same bit order resolution, same vertex<->bit translation, same default
+degeneracy packing that concentrates the dense core in the low words) and
+adds the ``(n, width)`` ``uint64`` adjacency matrix the vectorised kernels
+gather from.  :class:`WordWorkspace` owns the preallocated per-depth scratch
+rows and the global scan buffers, so the recursion in
+:mod:`repro.core.word_phases` allocates no branch state on the hot path.
+
+Popcount version gate
+---------------------
+``np.bitwise_count`` exists from NumPy 2.0; :func:`select_popcount` picks it
+when available and otherwise falls back to :func:`_popcount_fallback`, a
+SWAR (SIMD-within-a-register) reduction that is exact for all ``uint64``
+inputs.  All kernels route through the module global ``_POPCOUNT`` so tests
+can pin either path behind a monkeypatched gate.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Sequence
+
+import numpy as np
+
+from repro.graph.adjacency import Graph
+from repro.graph.bitadj import BitGraph
+
+#: ``BITS[j]`` is ``1 << j`` as a ``uint64`` scalar; ``INV_BITS[j]`` is its
+#: complement.  Used for in-place single-bit updates on word rows.
+BITS = np.left_shift(np.uint64(1), np.arange(64, dtype=np.uint64))
+INV_BITS = np.bitwise_not(BITS)
+
+# SWAR popcount constants (Hacker's Delight, fig. 5-2).
+_M1 = np.uint64(0x5555555555555555)
+_M2 = np.uint64(0x3333333333333333)
+_M4 = np.uint64(0x0F0F0F0F0F0F0F0F)
+_H01 = np.uint64(0x0101010101010101)
+_S1 = np.uint64(1)
+_S2 = np.uint64(2)
+_S4 = np.uint64(4)
+_S56 = np.uint64(56)
+
+
+def _popcount_fallback(words: np.ndarray, out: np.ndarray | None = None):
+    """Pure-NumPy per-word popcount for NumPy < 2.0 (no ``bitwise_count``).
+
+    Exact for every ``uint64`` value; the final multiply wraps modulo 2**64
+    by construction, accumulating the byte counts into the top byte.
+    """
+    x = words.astype(np.uint64)
+    x -= (x >> _S1) & _M1
+    x = (x & _M2) + ((x >> _S2) & _M2)
+    x = (x + (x >> _S4)) & _M4
+    x = (x * _H01) >> _S56
+    if out is None:
+        return x.astype(np.uint8)
+    out[...] = x
+    return out
+
+
+def select_popcount(module=np):
+    """The per-word popcount kernel for the given NumPy-like module.
+
+    Returns ``module.bitwise_count`` when present (NumPy >= 2.0), else the
+    SWAR fallback.  Split out so the version gate itself is unit-testable
+    against a stub module without touching the installed NumPy.
+    """
+    native = getattr(module, "bitwise_count", None)
+    return native if native is not None else _popcount_fallback
+
+
+#: The active popcount kernel; monkeypatch this to pin a path under test.
+_POPCOUNT = select_popcount()
+
+
+def popcount_rows(rows: np.ndarray, out: np.ndarray | None = None):
+    """Per-word set-bit counts (``uint8``) through the active kernel."""
+    return _POPCOUNT(rows, out=out)
+
+
+def row_popcount(row: np.ndarray) -> int:
+    """Total number of set bits in one word row."""
+    return int(_POPCOUNT(row).sum())
+
+
+def word_width(n: int) -> int:
+    """Words per row for an ``n``-vertex graph (at least one)."""
+    return max(1, (n + 63) >> 6)
+
+
+def row_to_int(row: np.ndarray) -> int:
+    """The row's bits as one arbitrary-precision mask (bitadj convention)."""
+    return int.from_bytes(
+        np.ascontiguousarray(row, dtype="<u8").tobytes(), "little"
+    )
+
+
+def int_to_row(mask: int, out: np.ndarray) -> np.ndarray:
+    """Write ``mask``'s bits into the preallocated row ``out``.
+
+    ``np.frombuffer`` views are read-only, so the bytes are copied into the
+    caller-owned row — the engines only ever hand out mutable state.
+    """
+    out[:] = np.frombuffer(
+        mask.to_bytes(out.shape[0] * 8, "little"), dtype="<u8"
+    )
+    return out
+
+
+def row_of_mask(mask: int, width: int) -> np.ndarray:
+    """A fresh width-word row holding ``mask``'s bits."""
+    return int_to_row(mask, np.empty(width, dtype=np.uint64))
+
+
+def iter_row_bits(row: np.ndarray) -> Iterator[int]:
+    """Yield the set-bit positions of a row in ascending order."""
+    for wi in range(row.shape[0]):
+        w = int(row[wi])
+        base = wi << 6
+        while w:
+            low = w & -w
+            yield base + low.bit_length() - 1
+            w ^= low
+
+
+def row_members(row: np.ndarray) -> np.ndarray:
+    """Ascending set-bit positions of a row as an index array.
+
+    Vectorised (unpack + nonzero): used by the scan kernels to gather the
+    member adjacency rows in one ``np.take``.
+    """
+    return np.nonzero(np.unpackbits(row.view(np.uint8), bitorder="little"))[0]
+
+
+def row_bits_list(row: np.ndarray) -> list[int]:
+    """Ascending set-bit positions of a row as a plain Python list."""
+    return row_members(row).tolist()
+
+
+class WordGraph:
+    """Word-matrix view of a graph, layered over its :class:`BitGraph`.
+
+    ``words[b]`` is the neighbourhood of bit ``b`` as a ``width``-word
+    ``uint64`` row — bit ``j`` of word ``wi`` is branch vertex
+    ``(wi << 6) + j``.  The wrapped :class:`BitGraph` (``.bit``) supplies
+    the vertex<->bit translation, the ``int``-mask form of every row (the
+    word engines dispatch small branches to the bit twins) and the packing
+    semantics: any order the bitset backend accepts works here unchanged.
+    """
+
+    __slots__ = ("n", "width", "words", "bit")
+
+    def __init__(self, bit: BitGraph) -> None:
+        n = bit.n
+        self.bit = bit
+        self.n = n
+        self.width = word_width(n)
+        words = np.zeros((max(1, n), self.width), dtype=np.uint64)
+        nbytes = self.width * 8
+        for b, mask in enumerate(bit.masks):
+            words[b] = np.frombuffer(
+                mask.to_bytes(nbytes, "little"), dtype="<u8"
+            )
+        self.words = words
+
+    @classmethod
+    def from_graph(
+        cls, g: Graph, order: str | Sequence[int] | None = None
+    ) -> "WordGraph":
+        """Build the word view of ``g`` under the given bit order."""
+        return cls(BitGraph.from_graph(g, order=order))
+
+    @classmethod
+    def from_masks(cls, masks: Sequence[int], n: int) -> "WordGraph":
+        """Wrap existing identity-packed bit masks (edge-engine interop)."""
+        identity = list(range(n))
+        return cls(BitGraph(n, list(masks), identity, identity))
+
+    def row_of_mask(self, mask: int) -> np.ndarray:
+        """A fresh row holding the bits of an ``int`` mask."""
+        return row_of_mask(mask, self.width)
+
+    def full_row(self) -> np.ndarray:
+        """A fresh row with every vertex bit set (``C = V``)."""
+        return self.row_of_mask(self.bit.vertex_mask)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"WordGraph(n={self.n}, width={self.width})"
+
+
+class _Frame:
+    """One recursion depth's preallocated rows: child C, child X, scratch."""
+
+    __slots__ = ("c", "x", "t")
+
+    def __init__(self, width: int) -> None:
+        rows = np.zeros((3, width), dtype=np.uint64)
+        self.c = rows[0]
+        self.x = rows[1]
+        self.t = rows[2]
+
+
+class WordWorkspace:
+    """Preallocated state for one word-engine recursion.
+
+    * ``frame(d)`` — the rows a branch at depth ``d - 1`` refines its
+      children into, plus the depth's scratch row.  A branch's scan work
+      finishes before it recurses, so the global scan buffers below are
+      shared across all depths.
+    * ``gather``/``counts``/``degrees`` — the member-row gather matrix,
+      per-word popcount buffer and per-member degree vector of the scan
+      kernels (:mod:`repro.core.word_phases`).
+    * ``bit_ctx`` — the lazily built pure-bit shadow context the dispatch
+      seam hands small branches to (filled in by the word phases).
+    """
+
+    __slots__ = ("wg", "width", "gather", "counts", "degrees", "frames",
+                 "bit_ctx")
+
+    def __init__(self, wg: WordGraph) -> None:
+        self.wg = wg
+        self.width = wg.width
+        rows = max(1, wg.n)
+        self.gather = np.empty((rows, self.width), dtype=np.uint64)
+        self.counts = np.empty((rows, self.width), dtype=np.uint8)
+        self.degrees = np.empty(rows, dtype=np.int64)
+        self.frames: list[_Frame] = []
+        self.bit_ctx = None
+
+    def frame(self, depth: int) -> _Frame:
+        frames = self.frames
+        while len(frames) <= depth:
+            frames.append(_Frame(self.width))
+        return frames[depth]

@@ -95,6 +95,7 @@ class GraphState:
     order: list[int]
     position: list[int]
     bit_graphs: dict = field(default_factory=dict)
+    word_graphs: dict = field(default_factory=dict)
 
     def bit_graph(self, options: dict):
         """Whole-graph :class:`BitGraph` for the request's ``bit_order``.
@@ -129,6 +130,39 @@ class GraphState:
             bg = BitGraph.from_graph(self.graph, order=order)
             self.bit_graphs[bit_order] = bg
         return bg
+
+    def word_graph(self, options: dict):
+        """Whole-graph :class:`WordGraph` for the request's ``bit_order``.
+
+        Layers the cached ``(n, width)`` word matrix over the (equally
+        cached) :class:`BitGraph`; same per-(process, packing) lifetime and
+        same uncached-permutation policy as :meth:`bit_graph`.
+        """
+        from repro.graph.bitadj import DEFAULT_BIT_ORDER
+        from repro.graph.wordadj import WordGraph
+
+        bit_order = options.get("bit_order")
+        if bit_order is None:
+            bit_order = DEFAULT_BIT_ORDER
+        if not isinstance(bit_order, str):
+            return WordGraph(self.bit_graph(options))
+        wg = self.word_graphs.get(bit_order)
+        if wg is None:
+            wg = WordGraph(self.bit_graph(options))
+            self.word_graphs[bit_order] = wg
+        return wg
+
+    def mask_graph(self, options: dict):
+        """The cached mask view matching the request's backend.
+
+        ``words`` requests get the :class:`WordGraph`, ``bitset`` requests
+        the :class:`BitGraph`; both are what
+        :func:`repro.parallel.decompose.solve_branch` expects in its
+        ``bit_graph`` slot for that backend.
+        """
+        if options.get("backend") == "words":
+            return self.word_graph(options)
+        return self.bit_graph(options)
 
 
 @dataclass(frozen=True)
@@ -260,8 +294,9 @@ def _solve_chunk(
     counters = Counters()
     g = graph_state.graph
     position, order = graph_state.position, graph_state.order
-    bit_graph = graph_state.bit_graph(config.options) \
-        if config.x_aware and config.options.get("backend") == "bitset" \
+    bit_graph = graph_state.mask_graph(config.options) \
+        if config.x_aware \
+        and config.options.get("backend") in ("bitset", "words") \
         and uses_in_place_phase(config.algorithm, config.options) else None
     for p in chunk.positions:
         cliques, sub_counters, _ = solve_subproblem(
@@ -512,8 +547,8 @@ def _solve_split(
     v = order[task.position]
     later, earlier = subproblem_sets(g, position, v)
     cands = sorted(later, key=lambda u: position[u])
-    bit_graph = graph_state.bit_graph(config.options) \
-        if config.options.get("backend") == "bitset" else None
+    bit_graph = graph_state.mask_graph(config.options) \
+        if config.options.get("backend") in ("bitset", "words") else None
     from repro.api import get_algorithm  # deferred: api imports us lazily
 
     phase_kwargs = get_algorithm(config.algorithm).subproblem_phase

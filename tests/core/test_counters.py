@@ -1,4 +1,4 @@
-"""Unit tests for counters and run reports, plus the set/bitset
+"""Unit tests for counters and run reports, plus the set/bitset/words
 counter-parity regression pins for the early-termination path."""
 
 import pytest
@@ -64,21 +64,24 @@ class TestBackendCounterParity:
     its counters must agree *exactly* — a silent divergence anywhere in
     the bit-native ET path (plex check, decomposition, clique assembly)
     fails here loudly.  The tomita vertex phases may legitimately pick
-    different equal-degree pivots per backend (documented in
-    :mod:`repro.core.bit_phases`), so for them the per-configuration
-    counter values are pinned literally instead.
+    different equal-degree pivots between the set and mask backends
+    (documented in :mod:`repro.core.bit_phases`), so for them the
+    per-configuration counter values are pinned literally instead.  The
+    words backend replays the bitset decision sequence branch for branch,
+    so its pinned rows are the bitset literals — verbatim.
     """
 
+    @pytest.mark.parametrize("backend", ["bitset", "words"])
     @pytest.mark.parametrize("bit_order", ["input", "degeneracy"])
     @pytest.mark.parametrize(
         "graph", [g for _, g in DENSE_SEED_GRAPHS],
         ids=[name for name, _ in DENSE_SEED_GRAPHS],
     )
-    def test_edge_engine_exact_parity(self, graph, bit_order):
+    def test_edge_engine_exact_parity(self, graph, bit_order, backend):
         set_counters = _run_counters(graph, "ebbmc++", "set")
-        bit_counters = _run_counters(graph, "ebbmc++", "bitset",
-                                     bit_order=bit_order)
-        assert bit_counters == set_counters
+        mask_counters = _run_counters(graph, "ebbmc++", backend,
+                                      bit_order=bit_order)
+        assert mask_counters == set_counters
         assert set_counters["et_hits"] > 0  # the pin actually covers ET
 
     #: regenerate with scripts in this file's history if branching rules
@@ -108,6 +111,24 @@ class TestBackendCounterParity:
             "plex_branches": 880, "plex_terminable": 480, "et_hits": 480,
             "et_cliques": 827, "emitted": 1150,
         },
+        # Words rows: the bitset literals, verbatim — branch-for-branch
+        # parity means any divergence is a words-backend bug, not a tie.
+        ("hbbmc++", "words", "input"): {
+            "plex_branches": 1724, "plex_terminable": 450, "et_hits": 450,
+            "et_cliques": 817, "emitted": 1150,
+        },
+        ("hbbmc++", "words", "degeneracy"): {
+            "plex_branches": 1734, "plex_terminable": 451, "et_hits": 451,
+            "et_cliques": 810, "emitted": 1150,
+        },
+        ("vbbmc-dgn", "words", "input"): {
+            "plex_branches": 870, "plex_terminable": 489, "et_hits": 489,
+            "et_cliques": 848, "emitted": 1150,
+        },
+        ("vbbmc-dgn", "words", "degeneracy"): {
+            "plex_branches": 880, "plex_terminable": 480, "et_hits": 480,
+            "et_cliques": 827, "emitted": 1150,
+        },
     }
 
     @pytest.mark.parametrize("key", sorted(PINNED, key=str))
@@ -122,16 +143,17 @@ class TestBackendCounterParity:
         "graph", [g for _, g in DENSE_SEED_GRAPHS],
         ids=[name for name, _ in DENSE_SEED_GRAPHS],
     )
+    @pytest.mark.parametrize("backend", ["bitset", "words"])
     @pytest.mark.parametrize("algorithm", ["hbbmc++", "vbbmc-dgn"])
-    def test_assembled_clique_counts_match(self, algorithm, graph):
+    def test_assembled_clique_counts_match(self, algorithm, backend, graph):
         """Whatever the pivot ties do, the assembled output cannot move."""
         set_counters = _run_counters(graph, algorithm, "set")
         for bit_order in ("input", "degeneracy"):
-            bit_counters = _run_counters(graph, algorithm, "bitset",
-                                         bit_order=bit_order)
-            assert bit_counters["emitted"] == set_counters["emitted"]
-            assert bit_counters["et_hits"] == bit_counters["plex_terminable"]
-            assert bit_counters["et_cliques"] >= bit_counters["et_hits"]
+            mask_counters = _run_counters(graph, algorithm, backend,
+                                          bit_order=bit_order)
+            assert mask_counters["emitted"] == set_counters["emitted"]
+            assert mask_counters["et_hits"] == mask_counters["plex_terminable"]
+            assert mask_counters["et_cliques"] >= mask_counters["et_hits"]
 
 
 class TestRunReport:

@@ -23,8 +23,9 @@ FIXTURES_DIR = pathlib.Path(__file__).parent.parent / "fixtures"
 GOLDEN = json.loads((FIXTURES_DIR / "golden.json").read_text())
 
 #: backend/bit-order are branch-and-bound knobs; reverse-search takes none.
-#: The bitset backend runs under both packings so a bit-order-dependent
-#: regression (translation, ET construction, edge-rank mapping) is caught.
+#: Each mask backend (bitset, words) runs under both packings so a
+#: bit-order-dependent regression (translation, ET construction, edge-rank
+#: mapping, word packing) is caught.
 def _backend_options(algorithm: str) -> list[dict]:
     if ALGORITHMS[algorithm].family == "reverse-search":
         return [{}]
@@ -32,6 +33,8 @@ def _backend_options(algorithm: str) -> list[dict]:
         {"backend": "set"},
         {"backend": "bitset", "bit_order": "input"},
         {"backend": "bitset", "bit_order": "degeneracy"},
+        {"backend": "words", "bit_order": "input"},
+        {"backend": "words", "bit_order": "degeneracy"},
     ]
 
 
@@ -66,7 +69,7 @@ def test_serial_reproduces_golden(name, algorithm):
         _check(name, maximal_cliques(g, algorithm=algorithm, **options))
 
 
-@pytest.mark.parametrize("n_jobs", [1, 2])
+@pytest.mark.parametrize("n_jobs", [1, 2, 4])
 @pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
 @pytest.mark.parametrize("name", sorted(GOLDEN))
 def test_parallel_reproduces_golden(name, algorithm, n_jobs):
@@ -83,7 +86,7 @@ def test_filtering_decomposition_reproduces_golden(name):
     _check(name, maximal_cliques(g, n_jobs=2, x_aware=False))
 
 
-@pytest.mark.parametrize("n_jobs", [1, 2])
+@pytest.mark.parametrize("n_jobs", [1, 2, 4])
 @pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
 @pytest.mark.parametrize("name", sorted(GOLDEN))
 def test_steal_schedule_reproduces_golden(name, algorithm, n_jobs):

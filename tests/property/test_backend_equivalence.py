@@ -1,8 +1,10 @@
-"""Property tests: the set and bitset backends are observationally equal.
+"""Property tests: the set, bitset and words backends are observationally equal.
 
-For every generator family and every algorithm the two backends must emit
+For every generator family and every algorithm the three backends must emit
 *identical* sorted clique lists and agree on ``Counters.emitted`` — the
-bitset backend is a pure representation change, never an algorithmic one.
+bitset backend is a pure representation change, never an algorithmic one,
+and the words backend executes the bitset backend's decision sequence
+branch for branch on NumPy ``uint64`` word rows.
 """
 
 import pytest
@@ -18,6 +20,8 @@ from repro.graph.generators import (
 )
 
 ALGORITHMS_UNDER_TEST = ["hbbmc++", "ebbmc++", "bk-pivot"]
+
+MASK_BACKENDS = ["bitset", "words"]
 
 
 def _generator_cases():
@@ -48,35 +52,55 @@ def test_backends_emit_identical_cliques(graph, algorithm):
     set_counters = enumerate_to_sink(
         graph, set_collector, algorithm=algorithm, backend="set"
     )
-    bit_collector = CliqueCollector()
-    bit_counters = enumerate_to_sink(
-        graph, bit_collector, algorithm=algorithm, backend="bitset"
-    )
-
-    assert set_collector.sorted_cliques() == bit_collector.sorted_cliques()
-    assert set_counters.emitted == bit_counters.emitted
     assert set_counters.emitted == len(set_collector.cliques)
-    assert bit_counters.emitted == len(bit_collector.cliques)
+    for backend in MASK_BACKENDS:
+        collector = CliqueCollector()
+        counters = enumerate_to_sink(
+            graph, collector, algorithm=algorithm, backend=backend
+        )
+        assert collector.sorted_cliques() == set_collector.sorted_cliques()
+        assert counters.emitted == set_counters.emitted
+        assert counters.emitted == len(collector.cliques)
 
 
+@pytest.mark.parametrize("backend", MASK_BACKENDS)
 @pytest.mark.parametrize("algorithm", ALGORITHMS_UNDER_TEST)
-def test_backends_match_on_edge_depth_sweep(algorithm):
-    """Deeper edge branching exercises the recursive bit edge engine."""
+def test_backends_match_on_edge_depth_sweep(algorithm, backend):
+    """Deeper edge branching exercises the recursive mask edge engines."""
     g = erdos_renyi_gnm(45, 350, seed=9)
     reference = maximal_cliques(g, algorithm=algorithm)
-    assert maximal_cliques(g, algorithm=algorithm, backend="bitset") == reference
+    assert maximal_cliques(g, algorithm=algorithm, backend=backend) == reference
     if algorithm.startswith("hbbmc"):
         for depth in (2, 3, None):
             assert maximal_cliques(
-                g, algorithm=algorithm, backend="bitset", edge_depth=depth
+                g, algorithm=algorithm, backend=backend, edge_depth=depth
             ) == reference
 
 
+@pytest.mark.parametrize("backend", MASK_BACKENDS)
 @pytest.mark.parametrize("et_threshold", [0, 1, 2, 3])
-def test_backends_match_across_et_thresholds(et_threshold):
+def test_backends_match_across_et_thresholds(et_threshold, backend):
     g = erdos_renyi_gnm(50, 450, seed=4)
     a = maximal_cliques(g, algorithm="hbbmc++", backend="set",
                         et_threshold=et_threshold)
-    b = maximal_cliques(g, algorithm="hbbmc++", backend="bitset",
+    b = maximal_cliques(g, algorithm="hbbmc++", backend=backend,
                         et_threshold=et_threshold)
     assert a == b
+
+
+def test_mask_backends_agree_on_counters():
+    """bitset and words are the *same* decision sequence, not merely the
+    same clique set: every counter matches exactly."""
+    g = erdos_renyi_gnm(60, 700, seed=1)
+    for algorithm in ALGORITHMS_UNDER_TEST:
+        collectors = {}
+        counters = {}
+        for backend in MASK_BACKENDS:
+            collectors[backend] = CliqueCollector()
+            counters[backend] = enumerate_to_sink(
+                g, collectors[backend], algorithm=algorithm, backend=backend
+            )
+        assert (counters["bitset"].as_dict()
+                == counters["words"].as_dict())
+        assert (collectors["bitset"].cliques
+                == collectors["words"].cliques)

@@ -125,49 +125,53 @@ class TestResolveBitOrder:
 
 
 class TestAlgorithmInvariance:
+    @pytest.mark.parametrize("backend", ["bitset", "words"])
     @pytest.mark.parametrize("algorithm", BITSET_ALGORITHMS)
-    def test_fingerprint_invariant_under_packing(self, algorithm):
+    def test_fingerprint_invariant_under_packing(self, algorithm, backend):
         g = erdos_renyi_gnp(24, 0.5, seed=21)
         reference = clique_fingerprint(
             maximal_cliques(g, algorithm=algorithm, backend="set")
         )
         for bit_order in ("input", "degeneracy"):
             cliques = maximal_cliques(g, algorithm=algorithm,
-                                      backend="bitset", bit_order=bit_order)
+                                      backend=backend, bit_order=bit_order)
             assert clique_fingerprint(cliques) == reference
         shuffled = list(range(g.n))
         random.Random(21).shuffle(shuffled)
-        cliques = maximal_cliques(g, algorithm=algorithm, backend="bitset",
+        cliques = maximal_cliques(g, algorithm=algorithm, backend=backend,
                                   bit_order=shuffled)
         assert clique_fingerprint(cliques) == reference
 
+    @pytest.mark.parametrize("backend", ["bitset", "words"])
     @pytest.mark.parametrize("seed", range(5))
-    def test_default_algorithm_under_random_permutations(self, seed):
+    def test_default_algorithm_under_random_permutations(self, seed, backend):
         g = plex_caveman(3, 10, 2, seed=seed)
         reference = maximal_cliques(g, backend="set")
         order = list(range(g.n))
         random.Random(seed).shuffle(order)
-        assert maximal_cliques(g, backend="bitset", bit_order=order) == reference
+        assert maximal_cliques(g, backend=backend, bit_order=order) == reference
 
+    @pytest.mark.parametrize("backend", ["bitset", "words"])
     @pytest.mark.parametrize("n_jobs", [1, 2])
-    def test_parallel_workers_inherit_packing(self, n_jobs):
+    def test_parallel_workers_inherit_packing(self, n_jobs, backend):
         g = erdos_renyi_gnp(26, 0.5, seed=9)
         reference = maximal_cliques(g, backend="set")
         for bit_order in ("input", "degeneracy"):
-            assert maximal_cliques(g, backend="bitset", bit_order=bit_order,
+            assert maximal_cliques(g, backend=backend, bit_order=bit_order,
                                    n_jobs=n_jobs) == reference
 
 
 class TestValidation:
-    def test_bit_order_requires_bitset_backend(self):
+    def test_bit_order_requires_mask_backend(self):
         g = erdos_renyi_gnp(8, 0.5, seed=5)
         with pytest.raises(InvalidParameterError):
             maximal_cliques(g, backend="set", bit_order="degeneracy")
 
-    def test_unknown_bit_order_rejected_at_api(self):
+    @pytest.mark.parametrize("backend", ["bitset", "words"])
+    def test_unknown_bit_order_rejected_at_api(self, backend):
         g = erdos_renyi_gnp(8, 0.5, seed=6)
         with pytest.raises(InvalidParameterError):
-            maximal_cliques(g, backend="bitset", bit_order="zigzag")
+            maximal_cliques(g, backend=backend, bit_order="zigzag")
 
     def test_reverse_search_rejects_bit_order(self):
         g = erdos_renyi_gnp(8, 0.5, seed=7)

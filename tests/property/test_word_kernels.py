@@ -1,0 +1,251 @@
+"""Property tests for the word-packed kernels (``repro.graph.wordadj``).
+
+Three layers of assurance for the words backend, below the three-way
+engine equivalence suites:
+
+* **Representation round-trip** — random ``int`` masks survive
+  ``int -> row -> int`` exactly, for widths from one word to many, so the
+  word rows and the bitset masks are two spellings of the same set.
+* **Kernel parity** — vectorised AND / ANDNOT / OR / popcount /
+  bit-iteration over rows agree with the arbitrary-precision ``int``
+  operators on every fuzzed pair, through both popcount paths (native
+  ``np.bitwise_count`` and the SWAR fallback for NumPy < 2.0).
+* **Workspace discipline** — per-depth scratch rows never alias across
+  depths (or within a frame), and forcing the recursion fully into word
+  space (dispatch threshold floored) still reproduces the set backend.
+"""
+
+import random
+
+import numpy as np
+import pytest
+
+from repro.api import maximal_cliques
+from repro.graph.bitadj import BitGraph
+from repro.graph.generators import erdos_renyi_gnm, erdos_renyi_gnp
+from repro.graph.wordadj import (
+    WordGraph,
+    WordWorkspace,
+    _popcount_fallback,
+    int_to_row,
+    iter_row_bits,
+    popcount_rows,
+    row_bits_list,
+    row_members,
+    row_of_mask,
+    row_popcount,
+    row_to_int,
+    select_popcount,
+    word_width,
+)
+
+WIDTHS = [1, 2, 3, 7]
+
+
+def _random_mask(rng, width):
+    """A random mask over ``width * 64`` bits, biased toward edge shapes."""
+    nbits = width * 64
+    shape = rng.randrange(5)
+    if shape == 0:
+        return 0
+    if shape == 1:
+        return (1 << nbits) - 1
+    if shape == 2:  # sparse
+        return sum(1 << rng.randrange(nbits) for _ in range(3))
+    if shape == 3:  # word-boundary straddling run
+        start = rng.randrange(nbits - 1)
+        stop = rng.randrange(start + 1, nbits + 1)
+        return ((1 << stop) - 1) ^ ((1 << start) - 1)
+    return rng.getrandbits(nbits)
+
+
+class TestRoundTrip:
+    def test_word_width(self):
+        assert word_width(1) == 1
+        assert word_width(64) == 1
+        assert word_width(65) == 2
+        assert word_width(128) == 2
+        assert word_width(129) == 3
+
+    @pytest.mark.parametrize("width", WIDTHS)
+    @pytest.mark.parametrize("seed", range(5))
+    def test_int_row_int_is_identity(self, width, seed):
+        rng = random.Random(seed * 100 + width)
+        for _ in range(50):
+            mask = _random_mask(rng, width)
+            assert row_to_int(row_of_mask(mask, width)) == mask
+
+    @pytest.mark.parametrize("width", WIDTHS)
+    def test_int_to_row_fills_preallocated_row(self, width):
+        rng = random.Random(width)
+        out = np.empty(width, dtype=np.uint64)
+        for _ in range(20):
+            mask = _random_mask(rng, width)
+            got = int_to_row(mask, out)
+            assert got is out  # in-place: the engines reuse their rows
+            assert row_to_int(out) == mask
+
+    def test_rows_are_writable(self):
+        # np.frombuffer views are read-only; the helpers must hand back
+        # owned, mutable rows or the in-place engine updates would fail.
+        row = row_of_mask((1 << 100) | 5, 2)
+        row[0] |= np.uint64(2)
+        assert row_to_int(row) == (1 << 100) | 7
+
+
+class TestKernelParity:
+    @pytest.mark.parametrize("width", WIDTHS)
+    @pytest.mark.parametrize("seed", range(5))
+    def test_bitwise_ops_match_int_ops(self, width, seed):
+        rng = random.Random(seed * 31 + width)
+        for _ in range(30):
+            a, b = _random_mask(rng, width), _random_mask(rng, width)
+            ra, rb = row_of_mask(a, width), row_of_mask(b, width)
+            assert row_to_int(np.bitwise_and(ra, rb)) == a & b
+            assert row_to_int(np.bitwise_or(ra, rb)) == a | b
+            assert row_to_int(np.bitwise_xor(ra, rb)) == a ^ b
+            # ANDNOT — the candidate-refinement kernel.
+            assert row_to_int(ra & np.bitwise_not(rb)) == a & ~b & ((1 << width * 64) - 1)
+
+    @pytest.mark.parametrize("width", WIDTHS)
+    @pytest.mark.parametrize("seed", range(5))
+    def test_popcount_matches_bit_count(self, width, seed):
+        rng = random.Random(seed * 17 + width)
+        for _ in range(30):
+            mask = _random_mask(rng, width)
+            row = row_of_mask(mask, width)
+            assert row_popcount(row) == mask.bit_count()
+            assert int(popcount_rows(row).sum()) == mask.bit_count()
+
+    @pytest.mark.parametrize("width", WIDTHS)
+    @pytest.mark.parametrize("seed", range(5))
+    def test_bit_iteration_matches_int_bits(self, width, seed):
+        rng = random.Random(seed * 13 + width)
+        for _ in range(30):
+            mask = _random_mask(rng, width)
+            expect = [i for i in range(width * 64) if mask >> i & 1]
+            row = row_of_mask(mask, width)
+            assert list(iter_row_bits(row)) == expect
+            assert row_members(row).tolist() == expect
+            assert row_bits_list(row) == expect
+
+    def test_wordgraph_rows_equal_bit_masks(self):
+        g = erdos_renyi_gnm(90, 1200, seed=5)
+        for order in ("input", "degeneracy"):
+            wg = WordGraph.from_graph(g, order=order)
+            assert wg.width == word_width(g.n)
+            for b in range(g.n):
+                assert row_to_int(wg.words[b]) == wg.bit.masks[b]
+        perm = list(range(g.n))
+        random.Random(5).shuffle(perm)
+        wg = WordGraph(BitGraph.from_graph(g, order=perm))
+        for b in range(g.n):
+            assert row_to_int(wg.words[b]) == wg.bit.masks[b]
+
+
+class TestPopcountPaths:
+    """Both sides of the NumPy-version gate, pinned independently."""
+
+    def test_gate_picks_native_when_present(self):
+        class WithNative:
+            @staticmethod
+            def bitwise_count(rows, out=None):  # pragma: no cover - marker
+                raise AssertionError("never called")
+
+        assert select_popcount(WithNative) is WithNative.bitwise_count
+
+    def test_gate_falls_back_without_native(self):
+        class Numpy1x:
+            pass  # no bitwise_count attribute, like NumPy < 2.0
+
+        assert select_popcount(Numpy1x) is _popcount_fallback
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_fallback_exact_on_fuzzed_words(self, seed):
+        rng = np.random.default_rng(seed)
+        words = rng.integers(0, 1 << 64, size=256, dtype=np.uint64)
+        words[:4] = (0, 1, (1 << 64) - 1, 0x8000000000000000)
+        expect = np.array([int(w).bit_count() for w in words], dtype=np.uint8)
+        assert np.array_equal(_popcount_fallback(words), expect)
+        out = np.empty(words.shape, dtype=np.uint8)
+        assert _popcount_fallback(words, out=out) is out
+        assert np.array_equal(out, expect)
+
+    @pytest.mark.skipif(not hasattr(np, "bitwise_count"),
+                        reason="installed NumPy predates bitwise_count")
+    def test_fallback_matches_native(self):
+        rng = np.random.default_rng(99)
+        words = rng.integers(0, 1 << 64, size=1024, dtype=np.uint64)
+        assert np.array_equal(_popcount_fallback(words),
+                              np.bitwise_count(words).astype(np.uint8))
+
+    def test_engine_correct_on_fallback_path(self, monkeypatch):
+        """A full enumeration with the SWAR kernel pinned: what a
+        NumPy 1.x user runs end to end."""
+        import repro.graph.wordadj as wordadj
+
+        monkeypatch.setattr(wordadj, "_POPCOUNT", _popcount_fallback)
+        g = erdos_renyi_gnm(60, 700, seed=3)
+        assert (maximal_cliques(g, algorithm="hbbmc++", backend="words")
+                == maximal_cliques(g, algorithm="hbbmc++", backend="set"))
+
+
+class TestWorkspaceDiscipline:
+    def test_scratch_rows_never_alias_across_depths(self):
+        ws = WordWorkspace(WordGraph.from_graph(erdos_renyi_gnp(70, 0.3, seed=1)))
+        frames = [ws.frame(d) for d in range(6)]
+        rows = [(d, name, getattr(f, name))
+                for d, f in enumerate(frames) for name in ("c", "x", "t")]
+        for i, (d1, n1, r1) in enumerate(rows):
+            for d2, n2, r2 in rows[i + 1:]:
+                assert not np.shares_memory(r1, r2), (
+                    f"frame({d1}).{n1} aliases frame({d2}).{n2}")
+
+    def test_frames_are_stable_across_lookups(self):
+        ws = WordWorkspace(WordGraph.from_graph(erdos_renyi_gnp(20, 0.4, seed=2)))
+        f3 = ws.frame(3)
+        assert ws.frame(3) is f3
+        assert ws.frame(1) is ws.frames[1]  # growing to 3 built 0..3
+
+    def test_scan_buffers_sized_for_the_graph(self):
+        g = erdos_renyi_gnp(130, 0.2, seed=3)
+        ws = WordWorkspace(WordGraph.from_graph(g))
+        assert ws.gather.shape == (g.n, word_width(g.n))
+        assert ws.counts.shape == (g.n, word_width(g.n))
+        assert ws.degrees.shape == (g.n,)
+
+
+class TestDispatchThreshold:
+    """The word/bit handoff point is a pure performance knob."""
+
+    @pytest.mark.parametrize("threshold", [0, 8, 10 ** 9])
+    @pytest.mark.parametrize("algorithm", ["hbbmc++", "ebbmc++", "bk-pivot"])
+    def test_any_threshold_reproduces_set_backend(self, monkeypatch,
+                                                  algorithm, threshold):
+        import repro.core.word_phases as word_phases
+
+        monkeypatch.setattr(word_phases, "WORD_DISPATCH_THRESHOLD", threshold)
+        g = erdos_renyi_gnm(60, 700, seed=7)
+        reference = maximal_cliques(g, algorithm=algorithm, backend="set")
+        for bit_order in ("input", "degeneracy"):
+            assert maximal_cliques(g, algorithm=algorithm, backend="words",
+                                   bit_order=bit_order) == reference
+
+    def test_threshold_zero_runs_word_phases_to_the_leaves(self, monkeypatch):
+        """With the floor in force the deep recursion really is word-space:
+        the word pivot phase must fire on branches of every size above the
+        tiny-branch floor, not just the root."""
+        import repro.core.word_phases as word_phases
+
+        calls = []
+        original = word_phases.word_pivot_phase
+
+        def spy(S, C, X, cand, full, ctx, ws=None, depth=0):
+            calls.append(len(S))
+            return original(S, C, X, cand, full, ctx, ws, depth)
+
+        monkeypatch.setattr(word_phases, "WORD_DISPATCH_THRESHOLD", 0)
+        monkeypatch.setattr(word_phases, "word_pivot_phase", spy)
+        g = erdos_renyi_gnm(60, 700, seed=7)
+        maximal_cliques(g, algorithm="bk-pivot", backend="words")
+        assert calls and max(calls) >= 3  # recursion went deep in word space

@@ -40,6 +40,8 @@ def _backend_options(algorithm: str) -> list[dict]:
         {"backend": "set"},
         {"backend": "bitset", "bit_order": "input"},
         {"backend": "bitset", "bit_order": "degeneracy"},
+        {"backend": "words", "bit_order": "input"},
+        {"backend": "words", "bit_order": "degeneracy"},
     ]
 
 
