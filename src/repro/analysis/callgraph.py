@@ -1,0 +1,425 @@
+"""Project-wide call graph over the :class:`ModuleIndex`.
+
+Every function the index knows gets a stable :data:`FunctionId`
+(``"module:qualname"``); every call site inside it is resolved to either
+another project function id or a dotted external name (``"time.time"``,
+``"threading.Lock"``).  Resolution is intentionally lightweight — it
+covers exactly the idioms this codebase uses:
+
+* bare names: module-level functions and classes of the same module,
+  ``from m import f`` aliases (relative imports included), builtins;
+* ``module.attr(...)`` through ``import m`` / ``import m as alias``;
+* ``self.method(...)`` inside a class body;
+* ``self.attr.method(...)`` through the configured ``attribute_types``
+  links (the one piece of type information an AST cannot carry).
+
+A call on a local variable stays unresolved (``None``) rather than
+guessed.  Class constructors resolve to the class's ``__init__`` when it
+has one, so reachability walks straight through object creation.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.analysis.index import FunctionInfo, ModuleIndex, ModuleInfo
+
+#: ``"module:qualname"`` — the stable identity of a project function.
+FunctionId = str
+
+#: pseudo-function holding a module's import-time statements.
+MODULE_BODY = "<module>"
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved call: who calls, what resolves, where."""
+
+    caller: FunctionId
+    callee: str
+    line: int
+
+
+@dataclass
+class ClassInfo:
+    """One class definition: its methods and annotated fields by name."""
+
+    module: str
+    name: str
+    lineno: int
+    methods: dict[str, FunctionInfo] = field(default_factory=dict)
+    #: class-body ``name: annotation`` declarations (dataclass fields).
+    fields: dict[str, ast.expr] = field(default_factory=dict)
+    #: lineno of each annotated field, for finding anchors.
+    field_lines: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def class_id(self) -> str:
+        return f"{self.module}:{self.name}"
+
+
+@dataclass
+class ModuleSymbols:
+    """Name-resolution tables for one module."""
+
+    #: bound name -> dotted module path (``import x.y as z``).
+    module_aliases: dict[str, str] = field(default_factory=dict)
+    #: bound name -> ``(source module, attribute)`` (``from m import f``).
+    object_aliases: dict[str, tuple[str, str]] = field(default_factory=dict)
+    #: classes defined in the module, by bare name.
+    classes: dict[str, ClassInfo] = field(default_factory=dict)
+    #: module-level functions, by bare name.
+    functions: dict[str, FunctionInfo] = field(default_factory=dict)
+    #: module-level ``Name = <type expression>`` aliases (no call on the
+    #: right-hand side), for annotation resolution.
+    type_aliases: dict[str, ast.expr] = field(default_factory=dict)
+
+
+def _package_of(info: ModuleInfo, level: int) -> str:
+    """The base package a ``level``-deep relative import resolves against."""
+    parts = info.name.split(".")
+    if info.path.name != "__init__.py":
+        parts = parts[:-1]
+    for _ in range(level - 1):
+        if parts:
+            parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _attribute_chain(node: ast.expr) -> list[str] | None:
+    """``a.b.c`` -> ``["a", "b", "c"]``; ``None`` for anything fancier."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        parts.reverse()
+        return parts
+    return None
+
+
+class CallGraph:
+    """Resolved call sites for every function of one :class:`ModuleIndex`."""
+
+    def __init__(
+        self,
+        index: ModuleIndex,
+        attribute_types: tuple[tuple[str, str], ...] = (),
+    ) -> None:
+        self.index = index
+        self.attribute_types: dict[str, str] = dict(attribute_types)
+        self.symbols: dict[str, ModuleSymbols] = {}
+        self.functions: dict[FunctionId, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        self.calls: dict[FunctionId, list[CallSite]] = {}
+        for info in index:
+            self.symbols[info.name] = self._collect_symbols(info)
+        for info in index:
+            self._collect_calls(info)
+
+    # ------------------------------------------------------------------
+    # Symbol tables
+    # ------------------------------------------------------------------
+    def _collect_symbols(self, info: ModuleInfo) -> ModuleSymbols:
+        symbols = ModuleSymbols()
+        for node in ast.walk(info.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if alias.asname is not None:
+                        symbols.module_aliases[alias.asname] = alias.name
+                    else:
+                        head = alias.name.split(".", 1)[0]
+                        symbols.module_aliases[head] = head
+            elif isinstance(node, ast.ImportFrom):
+                if node.level:
+                    base = _package_of(info, node.level)
+                    source = f"{base}.{node.module}" if node.module else base
+                else:
+                    source = node.module or ""
+                for alias in node.names:
+                    bound = alias.asname or alias.name
+                    symbols.object_aliases[bound] = (source, alias.name)
+        for node in info.tree.body:
+            if isinstance(node, ast.ClassDef):
+                cls = ClassInfo(module=info.name, name=node.name,
+                                lineno=node.lineno)
+                prefix = f"{node.name}."
+                for func in info.functions:
+                    qual = func.qualname
+                    if qual.startswith(prefix) and "." not in \
+                            qual[len(prefix):]:
+                        cls.methods[func.name] = func
+                for stmt in node.body:
+                    if isinstance(stmt, ast.AnnAssign) \
+                            and isinstance(stmt.target, ast.Name):
+                        cls.fields[stmt.target.id] = stmt.annotation
+                        cls.field_lines[stmt.target.id] = stmt.lineno
+                symbols.classes[node.name] = cls
+                self.classes[cls.class_id] = cls
+            elif isinstance(node, ast.Assign) and len(node.targets) == 1 \
+                    and isinstance(node.targets[0], ast.Name) \
+                    and not any(isinstance(n, ast.Call)
+                                for n in ast.walk(node.value)):
+                symbols.type_aliases[node.targets[0].id] = node.value
+        for func in info.functions:
+            self.functions[f"{info.name}:{func.qualname}"] = func
+            if func.qualname == func.name:
+                symbols.functions[func.name] = func
+        return symbols
+
+    # ------------------------------------------------------------------
+    # Call collection
+    # ------------------------------------------------------------------
+    def _collect_calls(self, info: ModuleInfo) -> None:
+        graph = self
+
+        class Visitor(ast.NodeVisitor):
+            def __init__(self) -> None:
+                #: class and function name segments, mirroring the
+                #: qualname construction of the module index.
+                self.qual_stack: list[str] = []
+                self.class_stack: list[str] = []
+                self.func_stack: list[str] = []
+
+            def _caller(self) -> FunctionId:
+                qual = self.func_stack[-1] if self.func_stack else MODULE_BODY
+                return f"{info.name}:{qual}"
+
+            def visit_ClassDef(self, node: ast.ClassDef) -> None:
+                self.qual_stack.append(node.name)
+                self.class_stack.append(node.name)
+                self.generic_visit(node)
+                self.class_stack.pop()
+                self.qual_stack.pop()
+
+            def _visit_func(
+                self, node: ast.FunctionDef | ast.AsyncFunctionDef,
+            ) -> None:
+                self.qual_stack.append(node.name)
+                self.func_stack.append(".".join(self.qual_stack))
+                self.generic_visit(node)
+                self.func_stack.pop()
+                self.qual_stack.pop()
+
+            def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+                self._visit_func(node)
+
+            def visit_AsyncFunctionDef(
+                self, node: ast.AsyncFunctionDef,
+            ) -> None:
+                self._visit_func(node)
+
+            def visit_Call(self, node: ast.Call) -> None:
+                callee = graph.resolve_call(
+                    info.name, self.class_stack[-1] if self.class_stack
+                    else None, node)
+                if callee is not None:
+                    graph.calls.setdefault(self._caller(), []).append(
+                        CallSite(caller=self._caller(), callee=callee,
+                                 line=node.lineno))
+                self.generic_visit(node)
+
+        Visitor().visit(info.tree)
+
+    # ------------------------------------------------------------------
+    # Resolution
+    # ------------------------------------------------------------------
+    def _constructor(self, cls: ClassInfo) -> str:
+        init = cls.methods.get("__init__")
+        if init is not None:
+            return f"{cls.module}:{init.qualname}"
+        return cls.class_id
+
+    def resolve_name(self, module: str, name: str) -> str | None:
+        """A bare name in ``module`` scope -> project id or dotted external."""
+        symbols = self.symbols.get(module)
+        if symbols is None:
+            return None
+        if name in symbols.functions:
+            return f"{module}:{name}"
+        if name in symbols.classes:
+            return self._constructor(symbols.classes[name])
+        if name in symbols.object_aliases:
+            source, attr = symbols.object_aliases[name]
+            return self._resolve_imported(source, attr)
+        if name in symbols.module_aliases:
+            return None
+        return name
+
+    def _resolve_imported(self, source: str, attr: str) -> str | None:
+        as_module = self.index.get(f"{source}.{attr}")
+        if as_module is not None:
+            return None
+        src_symbols = self.symbols.get(source)
+        if src_symbols is not None:
+            if attr in src_symbols.functions:
+                return f"{source}:{attr}"
+            if attr in src_symbols.classes:
+                return self._constructor(src_symbols.classes[attr])
+            if attr in src_symbols.object_aliases:
+                inner_source, inner_attr = src_symbols.object_aliases[attr]
+                return self._resolve_imported(inner_source, inner_attr)
+            return None
+        return f"{source}.{attr}"
+
+    def resolve_call(
+        self, module: str, enclosing_class: str | None, node: ast.Call,
+    ) -> str | None:
+        """Resolve one call node; ``None`` when the target is unknowable."""
+        func = node.func
+        if isinstance(func, ast.Name):
+            return self.resolve_name(module, func.id)
+        parts = _attribute_chain(func)
+        if parts is None:
+            return None
+        symbols = self.symbols.get(module)
+        if symbols is None:
+            return None
+        if parts[0] == "self" and enclosing_class is not None:
+            cls = symbols.classes.get(enclosing_class)
+            if cls is None:
+                return None
+            if len(parts) == 2:
+                method = cls.methods.get(parts[1])
+                if method is not None:
+                    return f"{module}:{method.qualname}"
+                return None
+            if len(parts) == 3:
+                target = self.attribute_types.get(
+                    f"{cls.class_id}.{parts[1]}")
+                if target is not None:
+                    target_cls = self.classes.get(target)
+                    if target_cls is not None:
+                        method = target_cls.methods.get(parts[2])
+                        if method is not None:
+                            return f"{target_cls.module}:{method.qualname}"
+                return None
+            return None
+        if parts[0] in symbols.module_aliases:
+            dotted = ".".join(
+                [symbols.module_aliases[parts[0]], *parts[1:-1]])
+            target_info = self.index.get(dotted)
+            if target_info is not None:
+                target_symbols = self.symbols[target_info.name]
+                if parts[-1] in target_symbols.functions:
+                    return f"{dotted}:{parts[-1]}"
+                if parts[-1] in target_symbols.classes:
+                    return self._constructor(
+                        target_symbols.classes[parts[-1]])
+                return None
+            return f"{dotted}.{parts[-1]}"
+        if parts[0] in symbols.object_aliases and len(parts) == 2:
+            source, attr = symbols.object_aliases[parts[0]]
+            if self.index.get(f"{source}.{attr}") is not None:
+                return self._resolve_imported(f"{source}.{attr}", parts[1])
+        return None
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def callees(self, fid: FunctionId) -> list[CallSite]:
+        return self.calls.get(fid, [])
+
+    def reachable(self, roots: Iterable[FunctionId]) -> set[str]:
+        """Every callee name reachable from ``roots`` (roots included)."""
+        seen: set[str] = set()
+        stack = list(roots)
+        while stack:
+            fid = stack.pop()
+            if fid in seen:
+                continue
+            seen.add(fid)
+            for site in self.calls.get(fid, []):
+                if site.callee not in seen:
+                    stack.append(site.callee)
+        return seen
+
+    def function(self, fid: FunctionId) -> FunctionInfo | None:
+        return self.functions.get(fid)
+
+    def module_of(self, fid: FunctionId) -> ModuleInfo | None:
+        return self.index.get(fid.split(":", 1)[0])
+
+    def type_alias(self, module: str, name: str) -> ast.expr | None:
+        symbols = self.symbols.get(module)
+        if symbols is None:
+            return None
+        return symbols.type_aliases.get(name)
+
+    def resolve_class(
+        self, module: str, name: str, _depth: int = 0,
+    ) -> ClassInfo | None:
+        """A bare name in ``module`` scope -> its ClassInfo, through
+        ``from m import Cls`` chains (bounded against alias cycles)."""
+        if _depth > 8:
+            return None
+        symbols = self.symbols.get(module)
+        if symbols is None:
+            return None
+        if name in symbols.classes:
+            return symbols.classes[name]
+        if name in symbols.object_aliases:
+            source, attr = symbols.object_aliases[name]
+            return self.resolve_class(source, attr, _depth + 1)
+        return None
+
+
+def build_callgraph(
+    index: ModuleIndex,
+    attribute_types: tuple[tuple[str, str], ...] = (),
+) -> CallGraph:
+    """Build the call graph for ``index`` (one pass; build once per lint)."""
+    return CallGraph(index, attribute_types)
+
+
+def imported_modules(info: ModuleInfo) -> set[str]:
+    """Dotted names of every module ``info`` imports, at any nesting."""
+    out: set[str] = set()
+    for node in ast.walk(info.tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                out.add(alias.name)
+        elif isinstance(node, ast.ImportFrom):
+            if node.level:
+                base = _package_of(info, node.level)
+                source = f"{base}.{node.module}" if node.module else base
+            else:
+                source = node.module or ""
+            out.add(source)
+            for alias in node.names:
+                out.add(f"{source}.{alias.name}")
+    return out
+
+
+def import_closure(index: ModuleIndex, roots: Iterable[str]) -> set[str]:
+    """Project modules transitively imported from ``roots`` (inclusive)."""
+    seen: set[str] = set()
+    stack = [name for name in roots if index.get(name) is not None]
+    while stack:
+        name = stack.pop()
+        if name in seen:
+            continue
+        seen.add(name)
+        info = index.get(name)
+        if info is None:
+            continue
+        for imported in imported_modules(info):
+            if imported not in seen and index.get(imported) is not None:
+                stack.append(imported)
+    return seen
+
+
+__all__ = [
+    "MODULE_BODY",
+    "CallGraph",
+    "CallSite",
+    "ClassInfo",
+    "FunctionId",
+    "ModuleSymbols",
+    "build_callgraph",
+    "import_closure",
+    "imported_modules",
+]

@@ -1,0 +1,163 @@
+"""Lightweight per-function control-flow summaries.
+
+Not a basic-block CFG — the checkers need three structural facts about a
+function, all derivable from statement nesting:
+
+* **with coverage**: which statement lines execute inside a
+  ``with <expr>:`` region (the lock-dominance question — a mutation at
+  line *L* is lock-protected iff some region with context
+  ``self._lock`` covers *L*);
+* **try coverage**: which ``try`` statements protect a line, and whether
+  they carry a ``finally`` (the lifecycle question);
+* **exit points**: explicit ``return``/``raise`` lines plus whether
+  control can fall off the end.
+
+Lines inside *nested* function bodies are excluded from region coverage:
+a closure's body runs when the closure is called, which may be long after
+the enclosing ``with`` block exited, so treating it as covered would make
+lock dominance unsound.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.index import FunctionInfo
+
+
+@dataclass(frozen=True)
+class WithRegion:
+    """One ``with`` statement: its context expressions and covered lines."""
+
+    contexts: tuple[str, ...]
+    lineno: int
+    body_lines: frozenset[int]
+
+    def covers(self, line: int) -> bool:
+        return line in self.body_lines
+
+
+@dataclass(frozen=True)
+class TryRegion:
+    """One ``try`` statement and the lines its body protects."""
+
+    lineno: int
+    body_lines: frozenset[int]
+    has_finally: bool
+    node: ast.Try
+
+    def covers(self, line: int) -> bool:
+        return line in self.body_lines
+
+
+@dataclass
+class FunctionCFG:
+    """The control-flow summary of one function."""
+
+    func: FunctionInfo
+    with_regions: list[WithRegion] = field(default_factory=list)
+    try_regions: list[TryRegion] = field(default_factory=list)
+    #: explicit exit statements: ``(lineno, "return" | "raise")``.
+    exits: list[tuple[int, str]] = field(default_factory=list)
+    #: whether control can reach the end of the body and fall through.
+    falls_through: bool = True
+
+    def dominated_by(self, line: int, context: str) -> bool:
+        """Whether ``line`` runs inside a ``with <context>:`` region."""
+        return any(
+            context in region.contexts and region.covers(line)
+            for region in self.with_regions
+        )
+
+    def covering_tries(self, line: int) -> list[TryRegion]:
+        """Every ``try`` whose body protects ``line``, innermost last."""
+        return [t for t in self.try_regions if t.covers(line)]
+
+    def exit_lines(self) -> list[int]:
+        return sorted(line for line, _ in self.exits)
+
+
+def _region_lines(
+    stmts: list[ast.stmt], skip: ast.AST | None = None,
+) -> frozenset[int]:
+    """Line numbers of every node under ``stmts``, nested defs excluded.
+
+    Coverage is by *AST node lineno*, which is exactly what the checkers
+    query (a finding anchors to its statement's ``lineno``); recording
+    full line ranges instead would silently re-include nested function
+    bodies that happen to sit inside a compound statement's span.
+
+    ``skip`` additionally excludes one subtree (used to keep a ``try``'s
+    handlers/finally out of its *body* region).
+    """
+    lines: set[int] = set()
+
+    def walk(node: ast.AST) -> None:
+        if node is skip:
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            lines.add(node.lineno)
+            return
+        lineno = getattr(node, "lineno", None)
+        if isinstance(lineno, int):
+            lines.add(lineno)
+        for child in ast.iter_child_nodes(node):
+            walk(child)
+
+    for stmt in stmts:
+        walk(stmt)
+    return frozenset(lines)
+
+
+def _terminates(stmts: list[ast.stmt]) -> bool:
+    """Whether a statement list always leaves the function (coarse)."""
+    for stmt in stmts:
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            return True
+        if isinstance(stmt, ast.If) and stmt.orelse:
+            if _terminates(stmt.body) and _terminates(stmt.orelse):
+                return True
+    return False
+
+
+def build_cfg(func: FunctionInfo) -> FunctionCFG:
+    """Summarise one function's control flow for the checkers."""
+    cfg = FunctionCFG(func=func)
+    root = func.node
+
+    def visit(node: ast.AST) -> None:
+        for child in ast.iter_child_nodes(node):
+            if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                  ast.Lambda)):
+                continue
+            if isinstance(child, (ast.With, ast.AsyncWith)):
+                contexts = tuple(
+                    ast.unparse(item.context_expr)
+                    for item in child.items
+                )
+                cfg.with_regions.append(WithRegion(
+                    contexts=contexts,
+                    lineno=child.lineno,
+                    body_lines=_region_lines(child.body),
+                ))
+            elif isinstance(child, ast.Try):
+                cfg.try_regions.append(TryRegion(
+                    lineno=child.lineno,
+                    body_lines=_region_lines(child.body),
+                    has_finally=bool(child.finalbody),
+                    node=child,
+                ))
+            elif isinstance(child, ast.Return):
+                cfg.exits.append((child.lineno, "return"))
+            elif isinstance(child, ast.Raise):
+                cfg.exits.append((child.lineno, "raise"))
+            visit(child)
+
+    visit(root)
+    cfg.falls_through = not _terminates(root.body)
+    return cfg
+
+
+__all__ = ["FunctionCFG", "TryRegion", "WithRegion", "build_cfg"]

@@ -27,6 +27,23 @@ from repro.analysis.index import ModuleIndex, ModuleInfo
 
 CHECKER = "boundaries"
 
+EXPLAIN = {
+    "rule": (
+        "CLI code exits 2 via main()'s handler (never raises SystemExit "
+        "directly), the service protocol handler converts expected "
+        "exceptions into {\"ok\": false} responses instead of unwinding "
+        "the transport, and worker-side packages do not write module "
+        "globals."
+    ),
+    "rationale": (
+        "Each boundary has a caller relying on the convention: scripts "
+        "parse the exit code, clients parse the error envelope, and "
+        "respawned pool workers re-run the initializer — a mutated "
+        "global silently diverges between parent and workers."
+    ),
+    "pragma": "# repro-lint: allow[boundaries] — <why this write is safe>",
+}
+
 
 def _check_cli(info: ModuleInfo, config: LintConfig) -> list[Finding]:
     findings: list[Finding] = []

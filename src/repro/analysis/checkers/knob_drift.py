@@ -31,6 +31,22 @@ from repro.analysis.knobs import (
 
 CHECKER = "knobs"
 
+EXPLAIN = {
+    "rule": (
+        "Every tuning knob in the repro.analysis.knobs registry must be "
+        "exposed (or documented absent) in each layer — API kwargs, CLI "
+        "flags, service protocol fields, CliqueService constructor, "
+        "RequestConfig — and no layer may expose a knob-shaped parameter "
+        "the registry does not claim."
+    ),
+    "rationale": (
+        "A knob added to one layer without threading it through the "
+        "others silently pins the other layers to a default; the "
+        "registry forces the drift to be either fixed or documented."
+    ),
+    "pragma": "# repro-lint: allow[knobs] — <why this parameter is not a knob>",
+}
+
 #: request fields that address the request rather than tune it.
 _REQUEST_EXEMPT = frozenset({"op", "id", "graph"})
 

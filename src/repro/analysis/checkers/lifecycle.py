@@ -1,0 +1,199 @@
+"""Lifecycle: acquired resources are released on every exit path.
+
+Scope: functions in ``config.lifecycle_packages`` (the service and
+parallel layers — the code that owns pools, sockets, servers and files).
+An *acquisition* is ``name = Factory(...)`` where the callee's last
+dotted segment is in ``config.lifecycle_factories``.  It is safe when:
+
+* it happens in a ``with`` statement (context manager owns the exit);
+* an enclosing or immediately-following ``try`` releases the name in its
+  ``finally`` (or a handler releases it and re-raises);
+* the name escapes to an attribute (``self._pool = ...`` — the owner's
+  ``close`` inherits the obligation) or is returned/handed off;
+* every statement between the acquisition and its release/escape is
+  exception-free (no calls — nothing on the path can raise past it).
+
+Anything else — a call, a raise, or function end between acquisition and
+release — is a leak on some exit path and is flagged at the acquisition
+line.  A bare ``Factory(...)`` expression statement drops the resource
+outright.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.config import LintConfig
+from repro.analysis.findings import Finding
+from repro.analysis.index import FunctionInfo, ModuleIndex, ModuleInfo
+
+CHECKER = "lifecycle"
+
+EXPLAIN = {
+    "rule": (
+        "Every pool/socket/server/file acquired in the service and "
+        "parallel layers (factories in config.lifecycle_factories) must "
+        "be released on all exit paths: a with block, a try/finally, or "
+        "an explicit escape (stored on self, returned, or handed off) "
+        "with no raising statement in between."
+    ),
+    "rationale": (
+        "A long-running service that leaks one socket or worker pool per "
+        "failed request dies slowly under load; the leak only manifests "
+        "on exception paths no unit test exercises.  Exit-path coverage "
+        "is a structural property of the AST, so it is enforced before "
+        "commit instead of debugged from file-descriptor exhaustion."
+    ),
+    "pragma": "# repro-lint: allow[lifecycle] — <who owns the release>",
+}
+
+_RISKY_NODES = (ast.Call, ast.Raise, ast.Assert, ast.Await, ast.Yield,
+                ast.YieldFrom)
+
+
+def _in_packages(info: ModuleInfo, packages: tuple[str, ...]) -> bool:
+    return any(info.name == pkg or info.name.startswith(pkg + ".")
+               for pkg in packages)
+
+
+def _factory_name(call: ast.expr, factories: frozenset[str]) -> str | None:
+    if not isinstance(call, ast.Call):
+        return None
+    func = call.func
+    if isinstance(func, ast.Name):
+        name = func.id
+    elif isinstance(func, ast.Attribute):
+        name = func.attr
+    else:
+        return None
+    return name if name in factories else None
+
+
+def _releases(stmts: list[ast.stmt], var: str,
+              release: frozenset[str]) -> bool:
+    """Whether any statement (at any nesting) calls ``var.<release>()``."""
+    for stmt in stmts:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute) \
+                    and node.func.attr in release \
+                    and isinstance(node.func.value, ast.Name) \
+                    and node.func.value.id == var:
+                return True
+    return False
+
+
+def _escapes(stmt: ast.stmt, var: str) -> bool:
+    """Return / attribute store / call handoff transfers ownership."""
+    def mentions(expr: ast.expr | None) -> bool:
+        return expr is not None and any(
+            isinstance(n, ast.Name) and n.id == var
+            for n in ast.walk(expr)
+        )
+
+    if isinstance(stmt, ast.Return):
+        return mentions(stmt.value)
+    if isinstance(stmt, ast.Assign):
+        if any(isinstance(t, (ast.Attribute, ast.Subscript))
+               for t in stmt.targets):
+            return mentions(stmt.value)
+    if isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+        call = stmt.value
+        return any(mentions(arg) for arg in call.args) or any(
+            mentions(kw.value) for kw in call.keywords)
+    return False
+
+
+def _is_safe(stmt: ast.stmt) -> bool:
+    return not any(isinstance(n, _RISKY_NODES) for n in ast.walk(stmt))
+
+
+def _scan(
+    rest_lists: list[list[ast.stmt]], var: str, release: frozenset[str],
+) -> str | None:
+    """Follow the statements after an acquisition; ``None`` means safe."""
+    for stmts in rest_lists:
+        for stmt in stmts:
+            if _releases([stmt], var, release):
+                return None
+            if _escapes(stmt, var):
+                return None
+            if _is_safe(stmt):
+                continue
+            return (f"'{var}' can leak: a statement that may raise runs "
+                    "before its release (wrap in try/finally or a with "
+                    "block)")
+    return f"'{var}' is never released on this path"
+
+
+def _analyze(
+    info: ModuleInfo, func: FunctionInfo, config: LintConfig,
+) -> list[Finding]:
+    findings: list[Finding] = []
+    factories = frozenset(config.lifecycle_factories)
+    release = frozenset(config.lifecycle_release_methods)
+
+    def walk(stmts: list[ast.stmt], tries: list[ast.Try],
+             conts: list[list[ast.stmt]]) -> None:
+        for i, stmt in enumerate(stmts):
+            rest = stmts[i + 1:]
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            if isinstance(stmt, (ast.Assign, ast.AnnAssign)):
+                targets = stmt.targets if isinstance(stmt, ast.Assign) \
+                    else [stmt.target]
+                value = stmt.value
+                name = _factory_name(value, factories) \
+                    if value is not None else None
+                if name is not None and len(targets) == 1 \
+                        and isinstance(targets[0], ast.Name):
+                    var = targets[0].id
+                    guarded = any(_releases(t.finalbody, var, release)
+                                  for t in tries)
+                    if not guarded:
+                        reason = _scan([rest] + conts, var, release)
+                        if reason is not None:
+                            findings.append(Finding(
+                                info.rel, stmt.lineno, CHECKER,
+                                f"{name}(...) acquired in "
+                                f"{func.qualname}: {reason}",
+                            ))
+            elif isinstance(stmt, ast.Expr):
+                name = _factory_name(stmt.value, factories)
+                if name is not None:
+                    findings.append(Finding(
+                        info.rel, stmt.lineno, CHECKER,
+                        f"{name}(...) acquired in {func.qualname} and "
+                        "immediately dropped: nothing can ever release it",
+                    ))
+            # Recurse into compound statements.
+            if isinstance(stmt, ast.Try):
+                inner_conts = [stmt.finalbody, rest] + conts
+                walk(stmt.body, tries + [stmt], inner_conts)
+                for handler in stmt.handlers:
+                    walk(handler.body, tries, inner_conts)
+                walk(stmt.orelse, tries, inner_conts)
+                walk(stmt.finalbody, tries, [rest] + conts)
+            elif isinstance(stmt, (ast.If,)):
+                walk(stmt.body, tries, [rest] + conts)
+                walk(stmt.orelse, tries, [rest] + conts)
+            elif isinstance(stmt, (ast.For, ast.AsyncFor, ast.While)):
+                walk(stmt.body, tries, [rest] + conts)
+                walk(stmt.orelse, tries, [rest] + conts)
+            elif isinstance(stmt, (ast.With, ast.AsyncWith)):
+                # `with Factory(...) as x:` — the context manager owns
+                # the exit; nothing to track.
+                walk(stmt.body, tries, [rest] + conts)
+
+    walk(func.node.body, [], [])
+    return findings
+
+
+def check(index: ModuleIndex, config: LintConfig) -> list[Finding]:
+    findings: list[Finding] = []
+    for info in index:
+        if not _in_packages(info, config.lifecycle_packages):
+            continue
+        for func in info.functions:
+            findings.extend(_analyze(info, func, config))
+    return findings

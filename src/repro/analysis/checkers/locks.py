@@ -1,0 +1,266 @@
+"""Lock discipline: shared-state mutations happen under the owner's lock.
+
+Two rules over the classes in ``config.lock_rosters``:
+
+1. **Dominance** — every mutation of a guarded attribute (an assignment
+   whose target chain is rooted at ``self.<attr>``, including
+   ``self.stats.x += 1`` and ``self._states[k] = v``) must execute inside
+   ``with self.<lock_attr>:`` whenever the enclosing method is reachable
+   from a public method without the lock already held.  A private helper
+   that is only ever called with the lock held is exempt by construction —
+   the reachability walk follows call sites *outside* lock regions only.
+
+2. **Ordering** — the lock acquisition order must be consistent across
+   the call graph: if any code path acquires lock A and then (directly or
+   transitively, via the configured ``attribute_types`` links) acquires
+   lock B, no path may do the reverse.  AB/BA pairs are reported once per
+   cycle.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.callgraph import CallGraph, build_callgraph
+from repro.analysis.cfg import FunctionCFG, build_cfg
+from repro.analysis.config import LintConfig, LockRoster
+from repro.analysis.findings import Finding
+from repro.analysis.index import FunctionInfo, ModuleIndex, ModuleInfo
+
+CHECKER = "locks"
+
+EXPLAIN = {
+    "rule": (
+        "Mutations of the shared attributes declared in "
+        "config.lock_rosters (CliqueService, GraphRegistry, WorkerPool) "
+        "must run inside 'with self.<lock>:' when reachable from a public "
+        "method without the lock held, and locks must be acquired in one "
+        "consistent global order (no AB/BA pairs)."
+    ),
+    "rationale": (
+        "The service sits behind a threaded TCP server; an unguarded "
+        "counter bump or registry insert is a data race that corrupts "
+        "warm-path accounting, and inconsistent acquisition order between "
+        "the service, registry and pool locks is a deadlock waiting for "
+        "load.  Both properties are structural, so they are enforced "
+        "statically instead of hunted under contention."
+    ),
+    "pragma": "# repro-lint: allow[locks] — <why this mutation is safe>",
+}
+
+#: method calls on a guarded attribute that mutate it in place.
+_MUTATOR_METHODS = frozenset({
+    "append", "add", "clear", "discard", "extend", "insert", "pop",
+    "popitem", "remove", "setdefault", "update",
+})
+
+
+def _target_root_attr(node: ast.expr) -> str | None:
+    """The ``self.<attr>`` root of an assignment target chain, if any."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        if isinstance(node, ast.Attribute) \
+                and isinstance(node.value, ast.Name) \
+                and node.value.id == "self":
+            return node.attr
+        node = node.value
+    return None
+
+
+def _walk_skipping_defs(node: ast.AST):
+    """Yield nodes of one function body, nested function subtrees excluded."""
+    stack = list(ast.iter_child_nodes(node))
+    while stack:
+        child = stack.pop()
+        if isinstance(child, (ast.FunctionDef, ast.AsyncFunctionDef,
+                              ast.Lambda)):
+            continue
+        yield child
+        stack.extend(ast.iter_child_nodes(child))
+
+
+def _mutations(func: FunctionInfo, guarded: frozenset[str]) \
+        -> list[tuple[int, str]]:
+    """``(line, attr)`` for every guarded-attribute mutation in ``func``."""
+    out: list[tuple[int, str]] = []
+    for node in _walk_skipping_defs(func.node):
+        targets: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            targets = list(node.targets)
+        elif isinstance(node, (ast.AugAssign, ast.AnnAssign)):
+            targets = [node.target]
+        elif isinstance(node, ast.Delete):
+            targets = list(node.targets)
+        elif isinstance(node, ast.Call) \
+                and isinstance(node.func, ast.Attribute) \
+                and node.func.attr in _MUTATOR_METHODS:
+            root = _target_root_attr(node.func.value)
+            if root is not None and root in guarded:
+                out.append((node.lineno, root))
+            continue
+        for target in targets:
+            root = _target_root_attr(target)
+            if root is not None and root in guarded:
+                out.append((node.lineno, root))
+    return out
+
+
+def _class_methods(
+    graph: CallGraph, roster: LockRoster,
+) -> dict[str, FunctionInfo]:
+    cls = graph.classes.get(f"{roster.module}:{roster.cls}")
+    return dict(cls.methods) if cls is not None else {}
+
+
+def _unlocked_reachable(
+    graph: CallGraph, roster: LockRoster,
+    methods: dict[str, FunctionInfo], cfgs: dict[str, FunctionCFG],
+) -> set[str]:
+    """Method names reachable from a public method with the lock NOT held."""
+    lock_ctx = f"self.{roster.lock_attr}"
+    ids = {f"{roster.module}:{f.qualname}": name
+           for name, f in methods.items()}
+    unlocked = {name for name, f in methods.items()
+                if f.is_public and name not in roster.exempt_methods}
+    stack = list(unlocked)
+    while stack:
+        name = stack.pop()
+        fid = f"{roster.module}:{methods[name].qualname}"
+        cfg = cfgs[name]
+        for site in graph.callees(fid):
+            callee = ids.get(site.callee)
+            if callee is None or callee in unlocked:
+                continue
+            if not cfg.dominated_by(site.line, lock_ctx):
+                unlocked.add(callee)
+                stack.append(callee)
+    return unlocked
+
+
+def _check_dominance(
+    index: ModuleIndex, graph: CallGraph, roster: LockRoster,
+    info: ModuleInfo, methods: dict[str, FunctionInfo],
+    cfgs: dict[str, FunctionCFG],
+) -> list[Finding]:
+    findings: list[Finding] = []
+    lock_ctx = f"self.{roster.lock_attr}"
+    guarded = frozenset(roster.guarded)
+    unlocked = _unlocked_reachable(graph, roster, methods, cfgs)
+    for name in sorted(unlocked):
+        if name in roster.exempt_methods:
+            continue
+        func = methods[name]
+        for line, attr in _mutations(func, guarded):
+            if not cfgs[name].dominated_by(line, lock_ctx):
+                findings.append(Finding(
+                    info.rel, line, CHECKER,
+                    f"mutation of shared attribute 'self.{attr}' in "
+                    f"{roster.cls}.{name} is not guarded by "
+                    f"'with {lock_ctx}' (reachable from a public method "
+                    "without the lock)",
+                ))
+    return findings
+
+
+def _check_ordering(
+    index: ModuleIndex, graph: CallGraph, rosters: list[LockRoster],
+) -> list[Finding]:
+    """Build the acquired-before graph and report cycles."""
+    # Direct acquisitions: lock id -> with-regions per method.
+    cfgs: dict[str, FunctionCFG] = {}
+    acquires: dict[str, set[str]] = {}
+    regions: list[tuple[LockRoster, str, FunctionCFG]] = []
+    for roster in rosters:
+        lock_ctx = f"self.{roster.lock_attr}"
+        for name, func in _class_methods(graph, roster).items():
+            fid = f"{roster.module}:{func.qualname}"
+            cfg = cfgs.setdefault(fid, build_cfg(func))
+            if any(lock_ctx in region.contexts
+                   for region in cfg.with_regions):
+                acquires.setdefault(fid, set()).add(roster.lock_id)
+                regions.append((roster, fid, cfg))
+
+    # Transitive closure over the call graph.
+    closure: dict[str, set[str]] = {
+        fid: set(locks) for fid, locks in acquires.items()
+    }
+    changed = True
+    while changed:
+        changed = False
+        for fid, sites in graph.calls.items():
+            gained = closure.setdefault(fid, set())
+            before = len(gained)
+            for site in sites:
+                gained |= closure.get(site.callee, set())
+            if len(gained) != before:
+                changed = True
+
+    # Held-A-acquires-B edges: calls made inside a with-lock region whose
+    # transitive closure contains another roster lock.
+    edges: dict[tuple[str, str], tuple[str, int]] = {}
+    for roster, fid, cfg in regions:
+        lock_ctx = f"self.{roster.lock_attr}"
+        info = graph.module_of(fid)
+        if info is None:
+            continue
+        for region in cfg.with_regions:
+            if lock_ctx not in region.contexts:
+                continue
+            for site in graph.callees(fid):
+                if not region.covers(site.line):
+                    continue
+                for other in closure.get(site.callee, set()):
+                    if other != roster.lock_id:
+                        edges.setdefault(
+                            (roster.lock_id, other), (info.rel, site.line))
+
+    # Cycle detection (DFS) over the acquired-before relation.
+    adjacency: dict[str, set[str]] = {}
+    for (a, b) in edges:
+        adjacency.setdefault(a, set()).add(b)
+    findings: list[Finding] = []
+    reported: set[frozenset[str]] = set()
+
+    def dfs(node: str, path: list[str], visiting: set[str]) -> None:
+        for nxt in sorted(adjacency.get(node, ())):
+            if nxt in visiting:
+                cycle = path[path.index(nxt):] + [nxt]
+                key = frozenset(cycle)
+                if key not in reported:
+                    reported.add(key)
+                    rel, line = edges[(node, nxt)]
+                    findings.append(Finding(
+                        rel, line, CHECKER,
+                        "inconsistent lock acquisition order: "
+                        + " -> ".join(cycle),
+                    ))
+                continue
+            visiting.add(nxt)
+            dfs(nxt, path + [nxt], visiting)
+            visiting.discard(nxt)
+
+    for start in sorted(adjacency):
+        dfs(start, [start], {start})
+    return findings
+
+
+def check(index: ModuleIndex, config: LintConfig) -> list[Finding]:
+    rosters = [roster for roster in config.lock_rosters
+               if index.get(roster.module) is not None]
+    if not rosters:
+        return []
+    graph = build_callgraph(index, config.attribute_types)
+    findings: list[Finding] = []
+    present: list[LockRoster] = []
+    for roster in rosters:
+        info = index.get(roster.module)
+        if info is None:
+            continue
+        methods = _class_methods(graph, roster)
+        if not methods:
+            continue
+        present.append(roster)
+        cfgs = {name: build_cfg(func) for name, func in methods.items()}
+        findings.extend(
+            _check_dominance(index, graph, roster, info, methods, cfgs))
+    findings.extend(_check_ordering(index, graph, present))
+    return findings

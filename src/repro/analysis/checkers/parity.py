@@ -24,6 +24,23 @@ from repro.analysis.index import FunctionInfo, ModuleIndex, ModuleInfo
 
 CHECKER = "parity"
 
+EXPLAIN = {
+    "rule": (
+        "Every public engine function (a function taking the 'ctx' "
+        "parameter) in the set-backend modules must have a 'bit_'/'word_' "
+        "prefixed twin in each backend column with a compatible "
+        "signature: the shared parameter names appear in the same order, "
+        "never renamed or reordered."
+    ),
+    "rationale": (
+        "The three backends are proved equivalent by a differential net; "
+        "that net only covers functions that exist in all columns.  A "
+        "twin that silently goes missing or renames a parameter drops "
+        "out of the equivalence net without failing any test."
+    ),
+    "pragma": "# repro-lint: allow[parity] — <why the twin is absent>",
+}
+
 
 def _engine_functions(info: ModuleInfo, ctx_param: str) -> list[FunctionInfo]:
     return [

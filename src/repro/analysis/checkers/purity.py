@@ -31,6 +31,21 @@ from repro.analysis.index import FunctionInfo, ModuleIndex, ModuleInfo
 
 CHECKER = "purity"
 
+EXPLAIN = {
+    "rule": (
+        "Functions in 'bit_*' modules may not allocate sets anywhere, "
+        "may not allocate dicts/lists or call sorted() inside loops, and "
+        "may not call len() on a set display."
+    ),
+    "rationale": (
+        "The bit backend's performance argument is that branch state "
+        "lives in machine integers; per-branch container churn silently "
+        "reintroduces the object overhead the backend exists to remove, "
+        "and no correctness test notices."
+    ),
+    "pragma": "# repro-lint: allow[purity] — <why this allocation is cold>",
+}
+
 _SET_BUILTINS = frozenset({"set", "frozenset"})
 _LOOP_BUILTINS = frozenset({"dict", "sorted"})
 

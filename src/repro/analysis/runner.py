@@ -17,13 +17,15 @@ import sys
 from pathlib import Path
 from typing import TextIO
 
+from collections import Counter
+
 from repro.analysis.baseline import (
     BaselineError,
     load_baseline,
     partition,
     save_baseline,
 )
-from repro.analysis.checkers import CHECKERS
+from repro.analysis.checkers import CHECKERS, EXPLAIN, Checker
 from repro.analysis.config import DEFAULT_CONFIG, LintConfig
 from repro.analysis.findings import Finding
 from repro.analysis.index import ModuleIndex
@@ -37,7 +39,7 @@ DEFAULT_BASELINE = DEFAULT_SRC.parent / "lint-baseline.json"
 
 def run_lint(
     src_root: Path, config: LintConfig = DEFAULT_CONFIG,
-    checkers: dict | None = None,
+    checkers: dict[str, Checker] | None = None,
 ) -> list[Finding]:
     """All unsuppressed findings for the tree under ``src_root``, sorted.
 
@@ -55,6 +57,42 @@ def run_lint(
     return sorted(findings)
 
 
+def explain(name: str, stdout: TextIO | None = None,
+            stderr: TextIO | None = None) -> int:
+    """Print one checker's rule, rationale and pragma syntax."""
+    out = stdout if stdout is not None else sys.stdout
+    err = stderr if stderr is not None else sys.stderr
+    entry = EXPLAIN.get(name)
+    if entry is None:
+        print(f"error: unknown checker {name!r} (known: "
+              f"{', '.join(sorted(CHECKERS))})", file=err)
+        return 2
+    print(f"checker: {name}", file=out)
+    print(f"rule: {entry['rule']}", file=out)
+    print(f"rationale: {entry['rationale']}", file=out)
+    print(f"pragma: {entry['pragma']}", file=out)
+    return 0
+
+
+def _select_checkers(
+    spec: str | None, err: TextIO,
+) -> dict[str, Checker] | None | int:
+    """Resolve a ``--checkers a,b`` spec to a registry subset.
+
+    Returns ``None`` for "all", an exit code (``int``) on unknown names.
+    """
+    if spec is None:
+        return None
+    names = [name.strip() for name in spec.split(",") if name.strip()]
+    unknown = [name for name in names if name not in CHECKERS]
+    if unknown or not names:
+        what = ", ".join(unknown) if unknown else "<empty>"
+        print(f"error: unknown checker(s) {what} (known: "
+              f"{', '.join(sorted(CHECKERS))})", file=err)
+        return 2
+    return {name: CHECKERS[name] for name in names}
+
+
 def execute(
     *,
     src: Path,
@@ -62,6 +100,7 @@ def execute(
     out_format: str = "text",
     update_baseline: bool = False,
     show_baselined: bool = False,
+    checkers_spec: str | None = None,
     config: LintConfig = DEFAULT_CONFIG,
     stdout: TextIO | None = None,
     stderr: TextIO | None = None,
@@ -69,6 +108,9 @@ def execute(
     """Run the lint end to end; returns the process exit code."""
     out = stdout if stdout is not None else sys.stdout
     err = stderr if stderr is not None else sys.stderr
+    selected = _select_checkers(checkers_spec, err)
+    if isinstance(selected, int):
+        return selected
     src = Path(src)
     if not src.is_dir():
         print(f"error: source root {src} is not a directory", file=err)
@@ -78,9 +120,19 @@ def execute(
     except BaselineError as exc:
         print(f"error: {exc}", file=err)
         return 2
+    if selected is not None:
+        # A subset run must not report the other checkers' baseline
+        # entries as stale.
+        baseline = Counter({key: count for key, count in baseline.items()
+                            if key[1] in selected})
 
-    findings = run_lint(src, config)
+    findings = run_lint(src, config, checkers=selected)
     if update_baseline:
+        if selected is not None:
+            print("error: --update-baseline cannot be combined with "
+                  "--checkers (a subset run would drop the other "
+                  "checkers' entries)", file=err)
+            return 2
         save_baseline(Path(baseline_path), findings)
         print(f"baseline updated: {len(findings)} finding(s) accepted in "
               f"{baseline_path}", file=err)
@@ -131,15 +183,24 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
                              "baseline file")
     parser.add_argument("--show-baselined", action="store_true",
                         help="also print accepted (baselined) findings")
+    parser.add_argument("--checkers", default=None, metavar="A,B",
+                        help="comma-separated subset of checkers to run "
+                             "(default: all)")
+    parser.add_argument("--explain", default=None, metavar="CHECKER",
+                        help="print one checker's rule, rationale and "
+                             "pragma syntax, then exit")
 
 
 def run_from_args(args: argparse.Namespace) -> int:
+    if args.explain is not None:
+        return explain(args.explain)
     return execute(
         src=Path(args.src),
         baseline_path=Path(args.baseline),
         out_format=args.out_format,
         update_baseline=args.update_baseline,
         show_baselined=args.show_baselined,
+        checkers_spec=args.checkers,
     )
 
 
@@ -147,7 +208,9 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
         prog="python -m repro.analysis",
         description="Project linter: backend-twin parity, hot-path purity, "
-                    "knob-threading drift and boundary conventions.",
+                    "knob-threading drift, boundary conventions, lock "
+                    "discipline, pickle safety, fork safety and resource "
+                    "lifecycle.",
     )
     add_lint_arguments(parser)
     return run_from_args(parser.parse_args(argv))

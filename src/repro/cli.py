@@ -423,7 +423,8 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("lint", help="run the project linter (backend "
                                     "parity, hot-path purity, knob drift, "
-                                    "boundary conventions)")
+                                    "boundary conventions, lock discipline, "
+                                    "pickle/fork safety, lifecycle)")
     from repro.analysis.runner import add_lint_arguments
 
     add_lint_arguments(p)

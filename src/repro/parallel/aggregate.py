@@ -27,6 +27,12 @@ from repro.core.result import CliqueSink
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.timeline import WorkerTimelineEvent
 
+#: what a worker ships back per subproblem: the clique list (collect
+#: mode) or the ``(count, max_size, total_vertices)`` triple (count
+#: mode).  A plain alias, not a union of aggregator-specific classes, so
+#: the picklesafety checker can verify the process boundary end to end.
+Payload = list[tuple[int, ...]] | tuple[int, int, int]
+
 
 @dataclass
 class ChunkResult:
@@ -44,7 +50,7 @@ class ChunkResult:
     """
 
     chunk_index: int
-    items: list[tuple[int, object]]
+    items: list[tuple[int, Payload]]
     counters: dict = field(default_factory=dict)
     cpu_seconds: float = 0.0
     worker: str = ""

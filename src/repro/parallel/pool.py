@@ -32,7 +32,9 @@ import multiprocessing
 import queue
 import threading
 import time
+from collections.abc import Callable, Sequence
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, cast
 
 from repro.core.counters import Counters
 from repro.exceptions import InvalidParameterError, WorkerPoolError
@@ -40,7 +42,12 @@ from repro.graph.adjacency import Graph
 from repro.obs.metrics import MetricsRegistry
 from repro.obs.timeline import WorkerTimelineEvent
 from repro.obs.trace import TraceContext, Tracer, maybe_span, span_record
-from repro.parallel.aggregate import Aggregator, ChunkResult, count_payload
+from repro.parallel.aggregate import (
+    Aggregator,
+    ChunkResult,
+    Payload,
+    count_payload,
+)
 from repro.parallel.decompose import (
     DEFAULT_COST_MODEL,
     Decomposition,
@@ -63,6 +70,14 @@ from repro.parallel.scheduler import (
     steal_chunk_count,
 )
 
+if TYPE_CHECKING:
+    from multiprocessing.context import BaseContext
+    from multiprocessing.pool import Pool as MpPool
+    from multiprocessing.synchronize import Barrier as SyncBarrier
+
+    from repro.graph.bitadj import BitGraph
+    from repro.graph.wordadj import WordGraph
+
 #: worker-side barrier timeout for the graph broadcast rendezvous.  A
 #: worker that dies between spin-up and the broadcast can never arrive,
 #: so the survivors abandon the barrier after this long instead of
@@ -79,6 +94,12 @@ _BROADCAST_GRACE = 15.0
 #: the per-branch dispatch overhead cannot pay for itself.
 _MIN_RESPLIT_CANDIDATES = 4
 
+#: What a per-request knob value may be: the JSON scalars plus an explicit
+#: ``bit_order`` vertex permutation.  Spelled out (rather than ``Any``) so
+#: the picklesafety checker can verify the request side of the process
+#: boundary, exactly like the payload side.
+OptionValue = str | int | float | bool | None | list[int] | tuple[int, ...]
+
 
 @dataclass
 class GraphState:
@@ -94,10 +115,10 @@ class GraphState:
     graph: Graph
     order: list[int]
     position: list[int]
-    bit_graphs: dict = field(default_factory=dict)
-    word_graphs: dict = field(default_factory=dict)
+    bit_graphs: dict[str, BitGraph] = field(default_factory=dict)
+    word_graphs: dict[str, WordGraph] = field(default_factory=dict)
 
-    def bit_graph(self, options: dict):
+    def bit_graph(self, options: dict[str, OptionValue]) -> BitGraph:
         """Whole-graph :class:`BitGraph` for the request's ``bit_order``.
 
         The X-aware in-place path runs bitset subproblems on global
@@ -121,7 +142,8 @@ class GraphState:
             # distinct client-supplied permutation, forever), so they are
             # built per call instead of cached; only the named orders — a
             # closed set — are worth retaining.
-            return BitGraph.from_graph(self.graph, order=list(bit_order))
+            return BitGraph.from_graph(
+                self.graph, order=list(cast(Sequence[int], bit_order)))
         bg = self.bit_graphs.get(bit_order)
         if bg is None:
             order = resolve_bit_order(
@@ -131,7 +153,7 @@ class GraphState:
             self.bit_graphs[bit_order] = bg
         return bg
 
-    def word_graph(self, options: dict):
+    def word_graph(self, options: dict[str, OptionValue]) -> WordGraph:
         """Whole-graph :class:`WordGraph` for the request's ``bit_order``.
 
         Layers the cached ``(n, width)`` word matrix over the (equally
@@ -152,7 +174,9 @@ class GraphState:
             self.word_graphs[bit_order] = wg
         return wg
 
-    def mask_graph(self, options: dict):
+    def mask_graph(
+        self, options: dict[str, OptionValue]
+    ) -> BitGraph | WordGraph:
         """The cached mask view matching the request's backend.
 
         ``words`` requests get the :class:`WordGraph`, ``bitset`` requests
@@ -176,7 +200,7 @@ class RequestConfig:
     """
 
     algorithm: str
-    options: dict
+    options: dict[str, OptionValue]
     mode: str  # "collect" or "count"
     x_aware: bool = True
     steal: bool = False
@@ -244,7 +268,7 @@ class ParallelStats:
             if serial_seconds > 0 else float("nan")
 
 
-def validate_n_jobs(n_jobs) -> int:
+def validate_n_jobs(n_jobs: object) -> int:
     """``n_jobs`` must be a positive ``int`` (bools are rejected too)."""
     if isinstance(n_jobs, bool) or not isinstance(n_jobs, int):
         raise InvalidParameterError(
@@ -290,7 +314,7 @@ def _solve_chunk(
     worker = multiprocessing.current_process().name
     started = time.monotonic()
     cpu_start = time.process_time()
-    items: list[tuple[int, object]] = []
+    items: list[tuple[int, Payload]] = []
     counters = Counters()
     g = graph_state.graph
     position, order = graph_state.position, graph_state.order
@@ -345,13 +369,14 @@ def _solve_chunk(
 #: a warm pool pays the ship cost once per (worker, graph), not per request.
 _WORKER_GRAPHS: dict[str, GraphState] = {}
 
-_WORKER_BARRIER = None
+_WORKER_BARRIER: SyncBarrier | None = None
 
 
 # The initializer is the one audited global write: it runs exactly once per
 # worker (and again on respawn, by design — see the docstring).
 # repro-lint: allow[boundaries] — audited pool-initializer global
-def _init_worker(barrier, states: dict[str, GraphState]) -> None:
+def _init_worker(barrier: SyncBarrier,
+                 states: dict[str, GraphState]) -> None:
     """Pool initializer: install the broadcast barrier and known graphs.
 
     ``states`` is the parent pool's *live* registry of every shipped
@@ -370,7 +395,7 @@ def _init_worker(barrier, states: dict[str, GraphState]) -> None:
     _WORKER_GRAPHS.update(states)
 
 
-def _install_graph(task) -> str:
+def _install_graph(task: tuple[str, GraphState]) -> str:
     """Broadcast task: cache one graph state, then rendezvous.
 
     The barrier (sized to the pool) guarantees each worker executes exactly
@@ -396,7 +421,7 @@ def _install_graph(task) -> str:
     return key
 
 
-def _run_chunk(task) -> ChunkResult:
+def _run_chunk(task: tuple[str, RequestConfig, Chunk]) -> ChunkResult:
     """Pool task: resolve the cached graph state and solve the chunk."""
     key, config, chunk = task
     graph_state = _WORKER_GRAPHS.get(key)
@@ -598,7 +623,7 @@ def _solve_split(
     )
 
 
-def _run_split(task) -> ChunkResult:
+def _run_split(task: tuple[str, RequestConfig, SplitTask]) -> ChunkResult:
     """Pool task: resolve the cached graph state and solve one split part."""
     key, config, split = task
     graph_state = _WORKER_GRAPHS.get(key)
@@ -621,7 +646,7 @@ class _SplitMerger:
     def __init__(self, splits: list[SplitTask], mode: str) -> None:
         self._mode = mode
         self._tasks = {t.index: t for t in splits}
-        self._payloads: dict[int, list] = {}
+        self._payloads: dict[int, list[Payload]] = {}
         self._remaining = {t.position: t.parts for t in splits}
 
     def owns(self, index: int) -> bool:
@@ -638,7 +663,7 @@ class _SplitMerger:
             result.items = [(task.position, self._merge(parts))]
         return result
 
-    def _merge(self, payloads: list):
+    def _merge(self, payloads: list[Any]) -> Payload:
         if self._mode == "count":
             return (sum(p[0] for p in payloads),
                     max(p[1] for p in payloads),
@@ -674,7 +699,7 @@ def record_steal_metrics(registry: MetricsRegistry,
                          labels={"worker": worker}).inc(n)
 
 
-def _pool_context():
+def _pool_context() -> tuple[BaseContext, str]:
     """Prefer ``fork`` (zero-copy state inheritance), fall back to spawn."""
     methods = multiprocessing.get_all_start_methods()
     method = "fork" if "fork" in methods else methods[0]
@@ -708,7 +733,11 @@ class WorkerPool:
     ) -> None:
         self.n_jobs = validate_n_jobs(n_jobs)
         self.warm = warm
-        self._pool = None
+        # The pool is shared by the service's connection threads; every
+        # mutation of the state below happens under this lock (an RLock
+        # so a locked path may call close()).
+        self._lock = threading.RLock()
+        self._pool: MpPool | None = None
         self._workers = 0
         # Every graph state the workers are expected to hold, by key.
         # This exact dict object is the pool initializer's argument, so
@@ -728,21 +757,23 @@ class WorkerPool:
         """Whether worker processes currently exist."""
         return self._pool is not None
 
-    def _ensure_pool(self, n_chunks: int):
-        if self._pool is not None:
+    def _ensure_pool(self, n_chunks: int) -> MpPool:
+        with self._lock:
+            if self._pool is not None:
+                return self._pool
+            ctx, method = _pool_context()
+            workers = self.n_jobs if self.warm \
+                else min(self.n_jobs, n_chunks)
+            barrier = ctx.Barrier(workers)
+            self._pool = ctx.Pool(
+                processes=workers,
+                initializer=_init_worker,
+                initargs=(barrier, self._states),
+            )
+            self._workers = workers
+            self.start_method = method
+            self.spinups += 1
             return self._pool
-        ctx, method = _pool_context()
-        workers = self.n_jobs if self.warm else min(self.n_jobs, n_chunks)
-        barrier = ctx.Barrier(workers)
-        self._pool = ctx.Pool(
-            processes=workers,
-            initializer=_init_worker,
-            initargs=(barrier, self._states),
-        )
-        self._workers = workers
-        self.start_method = method
-        self.spinups += 1
-        return self._pool
 
     def submit(
         self,
@@ -750,7 +781,7 @@ class WorkerPool:
         graph_state: GraphState,
         config: RequestConfig,
         chunks: list[Chunk],
-        accept,
+        accept: Callable[[ChunkResult], None],
         *,
         tracer: Tracer | None = None,
         splits: list[SplitTask] | None = None,
@@ -837,9 +868,11 @@ class WorkerPool:
                 except WorkerPoolError:
                     self.close()
                     raise
-                self._states[key] = graph_state
-                self.graph_ships += 1
-        tasks = [("split", t) for t in splits] + [("chunk", c) for c in chunks]
+                with self._lock:
+                    self._states[key] = graph_state
+                    self.graph_ships += 1
+        tasks: list[tuple[str, Chunk | SplitTask]] = \
+            [("split", t) for t in splits] + [("chunk", c) for c in chunks]
         with maybe_span(tracer, "execute", transport=self.start_method,
                         n_chunks=len(chunks), n_splits=len(splits),
                         steal=config.steal) as execute_span:
@@ -848,8 +881,11 @@ class WorkerPool:
                 execute_span.attrs.update(steals=report.steals)
         return report
 
-    def _dispatch(self, pool, key, config, tasks, merger, accept,
-                  report) -> None:
+    def _dispatch(self, pool: MpPool, key: str, config: RequestConfig,
+                  tasks: list[tuple[str, Chunk | SplitTask]],
+                  merger: _SplitMerger,
+                  accept: Callable[[ChunkResult], None],
+                  report: SubmitReport) -> None:
         """Shared dynamic queue: one task per worker in flight, pull on
         completion.
 
@@ -859,11 +895,12 @@ class WorkerPool:
         the initial window are marked, and on return counted as steals of
         the worker that executed them.
         """
-        results: queue.SimpleQueue = queue.SimpleQueue()
+        results: queue.SimpleQueue[tuple[str, Any]] = queue.SimpleQueue()
 
         def _send(i: int, dynamic: bool) -> None:
             kind, obj = tasks[i]
-            fn = _run_split if kind == "split" else _run_chunk
+            fn: Callable[[Any], ChunkResult] = \
+                _run_split if kind == "split" else _run_chunk
             if dynamic:
                 dynamic_indices.add(obj.index)
             pool.apply_async(
@@ -897,20 +934,22 @@ class WorkerPool:
 
     def close(self) -> None:
         """Shut the workers down; idempotent, pool unusable afterwards."""
-        if self._pool is not None:
-            self._pool.terminate()
-            self._pool.join()
-            self._pool = None
-        self._closed = True
+        with self._lock:
+            if self._pool is not None:
+                self._pool.terminate()
+                self._pool.join()
+                self._pool = None
+            self._closed = True
 
     def __enter__(self) -> "WorkerPool":
         return self
 
-    def __exit__(self, *exc_info) -> None:
+    def __exit__(self, *exc_info: object) -> None:
         self.close()
 
 
-def validate_parallel_options(g: Graph, algorithm: str, options: dict) -> None:
+def validate_parallel_options(g: Graph, algorithm: str,
+                              options: dict[str, Any]) -> None:
     """Fail fast in the parent, before any worker is spawned.
 
     A dry run on the empty graph exercises the registry lookup and every
@@ -959,7 +998,7 @@ def run_parallel(
     steal: bool = False,
     stats: ParallelStats | None = None,
     trace: Tracer | None = None,
-    **options,
+    **options: Any,
 ) -> Counters:
     """Enumerate ``g``'s maximal cliques across a one-shot worker pool.
 

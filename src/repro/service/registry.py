@@ -19,6 +19,7 @@ requests can use instead of the hex digest.
 from __future__ import annotations
 
 import hashlib
+import threading
 import time
 from dataclasses import dataclass, field
 
@@ -97,15 +98,23 @@ class GraphEntry:
 
 
 class GraphRegistry:
-    """Fingerprint-keyed store of :class:`GraphEntry` objects."""
+    """Fingerprint-keyed store of :class:`GraphEntry` objects.
+
+    The registry is shared by every connection thread of the TCP server,
+    so all map and counter access happens under ``self._lock``.  It is an
+    ``RLock`` because the cached builders nest (``chunks`` and
+    ``steal_plan`` call ``decomposition`` while already holding it).
+    """
 
     def __init__(self) -> None:
+        self._lock = threading.RLock()
         self._by_fingerprint: dict[str, GraphEntry] = {}
         self._by_name: dict[str, GraphEntry] = {}
         self.stats = RegistryStats()
 
     def __len__(self) -> int:
-        return len(self._by_fingerprint)
+        with self._lock:
+            return len(self._by_fingerprint)
 
     def register(self, g: Graph, *, name: str | None = None) -> GraphEntry:
         """Register ``g`` (idempotent) and return its entry.
@@ -118,50 +127,55 @@ class GraphRegistry:
         registration history).
         """
         fingerprint = graph_fingerprint(g)
-        if name is not None:
-            # Reject the conflict before any entry is created: a rejected
-            # request must leave no resident artifacts behind.
-            bound = self._by_name.get(name)
-            if bound is not None and bound.fingerprint != fingerprint:
-                raise InvalidParameterError(
-                    f"graph name {name!r} is already bound to a different "
-                    "graph"
+        with self._lock:
+            if name is not None:
+                # Reject the conflict before any entry is created: a
+                # rejected request must leave no resident artifacts
+                # behind.
+                bound = self._by_name.get(name)
+                if bound is not None and bound.fingerprint != fingerprint:
+                    raise InvalidParameterError(
+                        f"graph name {name!r} is already bound to a "
+                        "different graph"
+                    )
+            entry = self._by_fingerprint.get(fingerprint)
+            if entry is None:
+                core = core_decomposition(g)
+                graph_state = GraphState(
+                    graph=g, order=core.order, position=core.position,
                 )
-        entry = self._by_fingerprint.get(fingerprint)
-        if entry is None:
-            core = core_decomposition(g)
-            graph_state = GraphState(
-                graph=g, order=core.order, position=core.position,
-            )
-            # Prebuild the default packing so the first bitset request is
-            # as warm as the hundredth.
-            graph_state.bit_graph({"backend": "bitset"})
-            entry = GraphEntry(
-                name=name or fingerprint[:12],
-                fingerprint=fingerprint,
-                graph=g,
-                graph_state=graph_state,
-                core=core,
-            )
-            self._by_fingerprint[fingerprint] = entry
-        if name is not None:
-            self._by_name[name] = entry
-        return entry
+                # Prebuild the default packing so the first bitset
+                # request is as warm as the hundredth.
+                graph_state.bit_graph({"backend": "bitset"})
+                entry = GraphEntry(
+                    name=name or fingerprint[:12],
+                    fingerprint=fingerprint,
+                    graph=g,
+                    graph_state=graph_state,
+                    core=core,
+                )
+                self._by_fingerprint[fingerprint] = entry
+            if name is not None:
+                self._by_name[name] = entry
+            return entry
 
     def resolve(self, key: str) -> GraphEntry:
         """Look up an entry by name or fingerprint."""
-        entry = self._by_name.get(key) or self._by_fingerprint.get(key)
-        if entry is None:
-            known = ", ".join(sorted(self._by_name)) or "none registered"
-            raise InvalidParameterError(
-                f"unknown graph {key!r}; registered: {known}"
-            )
-        return entry
+        with self._lock:
+            entry = self._by_name.get(key) or self._by_fingerprint.get(key)
+            if entry is None:
+                known = ", ".join(sorted(self._by_name)) \
+                    or "none registered"
+                raise InvalidParameterError(
+                    f"unknown graph {key!r}; registered: {known}"
+                )
+            return entry
 
     def entries(self) -> list[GraphEntry]:
         """Every registered entry, oldest first."""
-        return sorted(self._by_fingerprint.values(),
-                      key=lambda e: e.registered_at)
+        with self._lock:
+            return sorted(self._by_fingerprint.values(),
+                          key=lambda e: e.registered_at)
 
     def decomposition(self, entry: GraphEntry, cost_model: str) -> Decomposition:
         """The entry's decomposition under ``cost_model``, cached."""
@@ -170,15 +184,16 @@ class GraphRegistry:
                 f"unknown cost model {cost_model!r}; "
                 f"expected one of {COST_MODELS}"
             )
-        cached = entry._decompositions.get(cost_model)
-        if cached is not None:
-            self.stats.decompose_cache_hits += 1
-            return cached
-        decomposition = decompose(entry.graph, cost_model=cost_model,
-                                  core=entry.core)
-        self.stats.decompose_calls += 1
-        entry._decompositions[cost_model] = decomposition
-        return decomposition
+        with self._lock:
+            cached = entry._decompositions.get(cost_model)
+            if cached is not None:
+                self.stats.decompose_cache_hits += 1
+                return cached
+            decomposition = decompose(entry.graph, cost_model=cost_model,
+                                      core=entry.core)
+            self.stats.decompose_calls += 1
+            entry._decompositions[cost_model] = decomposition
+            return decomposition
 
     def chunks(
         self,
@@ -189,16 +204,17 @@ class GraphRegistry:
     ) -> list[Chunk]:
         """The entry's chunk packing for the given knobs, cached."""
         key = (cost_model, strategy, n_chunks)
-        cached = entry._chunks.get(key)
-        if cached is not None:
-            self.stats.chunk_cache_hits += 1
-            return cached
-        decomposition = self.decomposition(entry, cost_model)
-        chunks = make_chunks(decomposition.subproblems, n_chunks,
-                             strategy=strategy)
-        self.stats.chunk_builds += 1
-        entry._chunks[key] = chunks
-        return chunks
+        with self._lock:
+            cached = entry._chunks.get(key)
+            if cached is not None:
+                self.stats.chunk_cache_hits += 1
+                return cached
+            decomposition = self.decomposition(entry, cost_model)
+            chunks = make_chunks(decomposition.subproblems, n_chunks,
+                                 strategy=strategy)
+            self.stats.chunk_builds += 1
+            entry._chunks[key] = chunks
+            return chunks
 
     def steal_plan(
         self,
@@ -219,15 +235,16 @@ class GraphRegistry:
         """
         key = (cost_model, strategy, n_jobs, chunks_per_worker,
                bool(resplit_ok))
-        cached = entry._steal_plans.get(key)
-        if cached is not None:
-            self.stats.steal_plan_cache_hits += 1
-            return cached
-        decomposition = self.decomposition(entry, cost_model)
-        plan = plan_steal_schedule(
-            entry.graph, decomposition, n_jobs, chunks_per_worker,
-            strategy=strategy, resplit_ok=resplit_ok,
-        )
-        self.stats.steal_plan_builds += 1
-        entry._steal_plans[key] = plan
-        return plan
+        with self._lock:
+            cached = entry._steal_plans.get(key)
+            if cached is not None:
+                self.stats.steal_plan_cache_hits += 1
+                return cached
+            decomposition = self.decomposition(entry, cost_model)
+            plan = plan_steal_schedule(
+                entry.graph, decomposition, n_jobs, chunks_per_worker,
+                strategy=strategy, resplit_ok=resplit_ok,
+            )
+            self.stats.steal_plan_builds += 1
+            entry._steal_plans[key] = plan
+            return plan

@@ -124,10 +124,16 @@ def serve_metrics_http(service, host: str = "127.0.0.1", port: int = 0,
     the returned server (or process exit, since the thread is a daemon).
     """
     server = MetricsHTTPServer((host, port), service)
-    if ready is not None:
-        ready(server.server_address)
-    thread = threading.Thread(target=server.serve_forever,
-                              kwargs={"poll_interval": 0.05},
-                              name="metrics-http", daemon=True)
-    thread.start()
+    try:
+        if ready is not None:
+            ready(server.server_address)
+        thread = threading.Thread(target=server.serve_forever,
+                                  kwargs={"poll_interval": 0.05},
+                                  name="metrics-http", daemon=True)
+        thread.start()
+    except BaseException:
+        # A failing ready() callback (or thread start) must not leak the
+        # bound socket: nobody else holds a reference to close it.
+        server.server_close()
+        raise
     return server

@@ -1,0 +1,25 @@
+"""Seeded fork-safety violations: wall clock on the worker path and an
+eager resource on the pool setup path."""
+
+import multiprocessing
+import socket
+import time
+
+from workers import state
+
+
+def run_task(task):
+    started = time.time()
+    value = state.compute(task)
+    return value, time.time() - started
+
+
+class PoolOwner:
+    def __init__(self):
+        self._pool = None
+
+    def _ensure_pool(self):
+        probe = socket.socket()
+        probe.close()
+        self._pool = multiprocessing.Pool(2)
+        return self._pool

@@ -1,0 +1,10 @@
+"""Worker-imported module that creates a lock at import time (seeded)."""
+
+import threading
+
+_LOCK = threading.Lock()
+
+
+def compute(task):
+    with _LOCK:
+        return task * 2

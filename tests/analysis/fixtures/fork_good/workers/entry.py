@@ -1,0 +1,21 @@
+"""Clean fork safety: monotonic stamps, nothing eager before the spawn."""
+
+import multiprocessing
+import time
+
+from workers import state
+
+
+def run_task(task):
+    started = time.monotonic()
+    value = state.compute(task)
+    return value, time.monotonic() - started
+
+
+class PoolOwner:
+    def __init__(self):
+        self._pool = None
+
+    def _ensure_pool(self):
+        self._pool = multiprocessing.Pool(2)
+        return self._pool

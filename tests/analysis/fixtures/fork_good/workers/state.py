@@ -1,0 +1,5 @@
+"""Worker-imported module with nothing live at import time."""
+
+
+def compute(task):
+    return task * 2

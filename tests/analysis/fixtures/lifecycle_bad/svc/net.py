@@ -1,0 +1,15 @@
+"""Seeded lifecycle violations: exception-path leak and a dropped handle."""
+
+import socket
+
+
+def fetch(host):
+    sock = socket.socket()
+    sock.connect((host, 80))
+    data = sock.recv(1024)
+    sock.close()
+    return data
+
+
+def probe(host):
+    socket.create_connection((host, 80))

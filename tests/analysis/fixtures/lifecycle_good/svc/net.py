@@ -1,0 +1,30 @@
+"""Clean lifecycle: try/finally, with-block, handoff, attribute ownership."""
+
+import socket
+
+
+def fetch(host):
+    sock = socket.socket()
+    try:
+        sock.connect((host, 80))
+        return sock.recv(1024)
+    finally:
+        sock.close()
+
+
+def fetch_with(host):
+    with socket.create_connection((host, 80)) as sock:
+        return sock.recv(1024)
+
+
+def open_channel(host):
+    conn = socket.create_connection((host, 80))
+    return conn
+
+
+class Client:
+    def __init__(self, host):
+        self._sock = socket.create_connection((host, 80))
+
+    def close(self):
+        self._sock.close()

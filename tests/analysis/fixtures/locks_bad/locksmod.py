@@ -1,0 +1,48 @@
+"""Seeded lock-discipline violations: unguarded mutation + AB/BA order."""
+
+import threading
+
+
+class Store:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.items = {}
+
+    def put(self, key, value):
+        self.items[key] = value
+
+    def drop(self, key):
+        with self._lock:
+            self.items.pop(key, None)
+
+
+class Alpha:
+    def __init__(self, peer):
+        self._lock = threading.Lock()
+        self.peer = peer
+        self.value = 0
+
+    def poke(self):
+        with self._lock:
+            self.value += 1
+            self.peer.bump()
+
+    def bump(self):
+        with self._lock:
+            self.value += 1
+
+
+class Beta:
+    def __init__(self, peer):
+        self._lock = threading.Lock()
+        self.peer = peer
+        self.value = 0
+
+    def poke(self):
+        with self._lock:
+            self.value += 1
+
+    def bump(self):
+        with self._lock:
+            self.value += 1
+            self.peer.poke()

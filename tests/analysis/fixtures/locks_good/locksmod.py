@@ -1,0 +1,46 @@
+"""Clean lock discipline: guarded mutations, one consistent lock order."""
+
+import threading
+
+
+class Store:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.items = {}
+
+    def put(self, key, value):
+        with self._lock:
+            self._put_locked(key, value)
+
+    def _put_locked(self, key, value):
+        self.items[key] = value
+
+    def drop(self, key):
+        with self._lock:
+            self.items.pop(key, None)
+
+
+class Alpha:
+    def __init__(self, peer):
+        self._lock = threading.Lock()
+        self.peer = peer
+        self.value = 0
+
+    def poke(self):
+        with self._lock:
+            self.value += 1
+            self.peer.bump()
+
+    def bump(self):
+        with self._lock:
+            self.value += 1
+
+
+class Beta:
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.value = 0
+
+    def bump(self):
+        with self._lock:
+            self.value += 1

@@ -1,0 +1,12 @@
+"""Seeded pickle-safety violations: closure and lambda shipped to workers."""
+
+
+def run(pool, items):
+    def _handler(item):
+        return item
+
+    out = []
+    for item in items:
+        pool.apply_async(_handler, (item,))
+    pool.map_async(lambda x: x, items)
+    return out

@@ -1,0 +1,9 @@
+"""Seeded pickle-safety violation: an opaque payload field."""
+
+from dataclasses import dataclass
+
+
+@dataclass
+class Task:
+    index: int
+    payload: object

@@ -1,0 +1,12 @@
+"""Clean pickle safety: module-level task fn, parent-side callback lambda."""
+
+
+def handler(item):
+    return item
+
+
+def run(pool, items):
+    out = []
+    for item in items:
+        pool.apply_async(handler, (item,), callback=lambda r: out.append(r))
+    return out

@@ -1,0 +1,11 @@
+"""Clean pickle safety: payload typed through an allowlisted alias."""
+
+from dataclasses import dataclass
+
+Payload = list[list[int]] | tuple[int, int]
+
+
+@dataclass
+class Task:
+    index: int
+    payload: Payload

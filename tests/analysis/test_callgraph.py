@@ -1,0 +1,154 @@
+"""Unit tests for the project-wide call graph."""
+
+import textwrap
+
+from repro.analysis.callgraph import (
+    MODULE_BODY,
+    build_callgraph,
+    import_closure,
+    imported_modules,
+)
+from repro.analysis.index import ModuleIndex
+
+
+def _index(tmp_path, files):
+    for rel, src in files.items():
+        path = tmp_path / rel
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(textwrap.dedent(src), encoding="utf-8")
+    return ModuleIndex.build(tmp_path)
+
+
+class TestResolution:
+    def test_self_method_and_module_function(self, tmp_path):
+        index = _index(tmp_path, {"m.py": """
+            def helper():
+                return 1
+
+
+            class C:
+                def public(self):
+                    self._private()
+                    return helper()
+
+                def _private(self):
+                    return 0
+        """})
+        graph = build_callgraph(index)
+        callees = {s.callee for s in graph.callees("m:C.public")}
+        assert callees == {"m:C._private", "m:helper"}
+
+    def test_constructor_resolves_to_init(self, tmp_path):
+        index = _index(tmp_path, {"m.py": """
+            class C:
+                def __init__(self):
+                    self.x = 0
+
+
+            def make():
+                return C()
+        """})
+        graph = build_callgraph(index)
+        callees = {s.callee for s in graph.callees("m:make")}
+        assert callees == {"m:C.__init__"}
+
+    def test_import_alias_and_external_dotted(self, tmp_path):
+        index = _index(tmp_path, {
+            "a.py": """
+                import time
+
+                from b import compute
+
+
+                def run():
+                    compute()
+                    return time.time()
+            """,
+            "b.py": """
+                def compute():
+                    return 2
+            """,
+        })
+        graph = build_callgraph(index)
+        callees = {s.callee for s in graph.callees("a:run")}
+        assert callees == {"b:compute", "time.time"}
+
+    def test_attribute_types_link(self, tmp_path):
+        index = _index(tmp_path, {"m.py": """
+            class A:
+                def go(self):
+                    self.peer.poke()
+
+
+            class B:
+                def poke(self):
+                    return 1
+        """})
+        graph = build_callgraph(index, (("m:A.peer", "m:B"),))
+        callees = {s.callee for s in graph.callees("m:A.go")}
+        assert callees == {"m:B.poke"}
+
+    def test_local_variable_call_unresolved(self, tmp_path):
+        index = _index(tmp_path, {"m.py": """
+            def run(pool):
+                pool.apply_async(run)
+        """})
+        graph = build_callgraph(index)
+        assert graph.callees("m:run") == []
+
+    def test_module_body_pseudo_function(self, tmp_path):
+        index = _index(tmp_path, {"m.py": """
+            import threading
+
+            _LOCK = threading.Lock()
+        """})
+        graph = build_callgraph(index)
+        callees = {s.callee
+                   for s in graph.callees(f"m:{MODULE_BODY}")}
+        assert "threading.Lock" in callees
+
+
+class TestReachability:
+    def test_reachable_walks_through_project_calls(self, tmp_path):
+        index = _index(tmp_path, {"m.py": """
+            import time
+
+
+            def entry():
+                middle()
+
+
+            def middle():
+                time.time()
+
+
+            def unrelated():
+                time.monotonic()
+        """})
+        graph = build_callgraph(index)
+        seen = graph.reachable(["m:entry"])
+        assert "m:middle" in seen
+        assert "time.time" in seen
+        assert "m:unrelated" not in seen
+
+
+class TestImports:
+    def test_imported_modules_and_closure(self, tmp_path):
+        index = _index(tmp_path, {
+            "pkg/entry.py": """
+                from pkg import state
+            """,
+            "pkg/state.py": """
+                from pkg import leaf
+            """,
+            "pkg/leaf.py": """
+                X = 1
+            """,
+            "pkg/other.py": """
+                Y = 2
+            """,
+        })
+        entry = index.get("pkg.entry")
+        assert "pkg.state" in imported_modules(entry)
+        closure = import_closure(index, ["pkg.entry"])
+        assert closure == {"pkg.entry", "pkg.state", "pkg.leaf"}

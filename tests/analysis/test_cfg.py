@@ -1,0 +1,86 @@
+"""Unit tests for the per-function control-flow summaries."""
+
+import textwrap
+
+from repro.analysis.cfg import build_cfg
+from repro.analysis.index import ModuleIndex
+
+
+def _cfg(tmp_path, source, name="f"):
+    (tmp_path / "m.py").write_text(textwrap.dedent(source),
+                                   encoding="utf-8")
+    index = ModuleIndex.build(tmp_path)
+    func = index.get("m").function(name)
+    assert func is not None
+    return build_cfg(func)
+
+
+class TestWithRegions:
+    def test_lock_dominance_inside_and_outside(self, tmp_path):
+        cfg = _cfg(tmp_path, """
+            class C:
+                def f(self):
+                    self.a = 1
+                    with self._lock:
+                        self.b = 2
+        """)
+        assert not cfg.dominated_by(4, "self._lock")
+        assert cfg.dominated_by(6, "self._lock")
+
+    def test_nested_function_body_excluded(self, tmp_path):
+        # The closure's body runs when *called*, possibly after the
+        # with block exited — it must not count as covered.
+        cfg = _cfg(tmp_path, """
+            class C:
+                def f(self):
+                    with self._lock:
+                        def g():
+                            self.b = 2
+                        return g
+        """)
+        assert not cfg.dominated_by(6, "self._lock")
+
+    def test_multi_item_with(self, tmp_path):
+        cfg = _cfg(tmp_path, """
+            def f(a, b):
+                with a.lock, b.lock:
+                    x = 1
+                return x
+        """)
+        region = cfg.with_regions[0]
+        assert region.contexts == ("a.lock", "b.lock")
+
+
+class TestTryAndExits:
+    def test_try_finally_coverage(self, tmp_path):
+        cfg = _cfg(tmp_path, """
+            def f(x):
+                try:
+                    x.work()
+                finally:
+                    x.close()
+        """)
+        assert len(cfg.try_regions) == 1
+        region = cfg.try_regions[0]
+        assert region.has_finally
+        assert region.covers(4)
+        assert not region.covers(6)
+        assert cfg.covering_tries(4) == [region]
+
+    def test_exits_and_fall_through(self, tmp_path):
+        cfg = _cfg(tmp_path, """
+            def f(x):
+                if x:
+                    return 1
+                raise ValueError(x)
+        """)
+        assert cfg.exit_lines() == [4, 5]
+        assert not cfg.falls_through
+
+    def test_plain_body_falls_through(self, tmp_path):
+        cfg = _cfg(tmp_path, """
+            def f(x):
+                x.work()
+        """)
+        assert cfg.exits == []
+        assert cfg.falls_through

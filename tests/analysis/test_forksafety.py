@@ -1,0 +1,42 @@
+"""The fork-safety checker against good and bad fixture trees."""
+
+from repro.analysis.checkers import forksafety
+from repro.analysis.config import LintConfig
+from repro.analysis.index import ModuleIndex
+
+CONFIG = LintConfig(
+    worker_entry_module="workers.entry",
+    worker_entry_functions=("run_task",),
+    pool_spawn_function="PoolOwner._ensure_pool",
+)
+
+
+def _findings(fixtures, tree):
+    index = ModuleIndex.build(fixtures / tree)
+    return forksafety.check(index, CONFIG)
+
+
+class TestForkBad:
+    def test_import_time_lock_flagged(self, fixtures):
+        findings = _findings(fixtures, "fork_bad")
+        hits = [f for f in findings if "threading.Lock" in f.message]
+        assert len(hits) == 1
+        assert hits[0].rel == "workers/state.py"
+        assert "import time" in hits[0].message
+
+    def test_wall_clock_on_worker_path_flagged(self, fixtures):
+        findings = _findings(fixtures, "fork_bad")
+        hits = [f for f in findings if "time.time()" in f.message]
+        assert len(hits) == 2  # two call sites in run_task
+        assert all("run_task" in f.message for f in hits)
+
+    def test_setup_path_resource_flagged(self, fixtures):
+        findings = _findings(fixtures, "fork_bad")
+        hits = [f for f in findings if "socket.socket" in f.message]
+        assert len(hits) == 1
+        assert "before the Pool(...) spawn" in hits[0].message
+
+
+class TestForkGood:
+    def test_clean_tree(self, fixtures):
+        assert _findings(fixtures, "fork_good") == []

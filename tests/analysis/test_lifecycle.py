@@ -1,0 +1,34 @@
+"""The lifecycle checker against good and bad fixture trees."""
+
+from repro.analysis.checkers import lifecycle
+from repro.analysis.config import LintConfig
+from repro.analysis.index import ModuleIndex
+
+CONFIG = LintConfig(lifecycle_packages=("svc",))
+
+
+def _findings(fixtures, tree):
+    index = ModuleIndex.build(fixtures / tree)
+    return lifecycle.check(index, CONFIG)
+
+
+class TestLifecycleBad:
+    def test_exception_path_leak_flagged(self, fixtures):
+        findings = _findings(fixtures, "lifecycle_bad")
+        hits = [f for f in findings if "fetch" in f.message]
+        assert len(hits) == 1
+        assert "may raise runs before its release" in hits[0].message
+        assert hits[0].rel == "svc/net.py"
+
+    def test_dropped_handle_flagged(self, fixtures):
+        findings = _findings(fixtures, "lifecycle_bad")
+        hits = [f for f in findings if "probe" in f.message]
+        assert len(hits) == 1
+        assert "immediately dropped" in hits[0].message
+
+
+class TestLifecycleGood:
+    def test_clean_tree(self, fixtures):
+        # try/finally, with-block, return handoff and attribute ownership
+        # are all safe shapes.
+        assert _findings(fixtures, "lifecycle_good") == []

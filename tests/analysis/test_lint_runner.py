@@ -8,6 +8,7 @@ import io
 import json
 from pathlib import Path
 
+from repro.analysis.checkers import CHECKERS, EXPLAIN
 from repro.analysis.config import DEFAULT_CONFIG, LintConfig
 from repro.analysis.runner import (
     DEFAULT_BASELINE,
@@ -50,6 +51,31 @@ def _seed_violating_tree(root: Path) -> None:
         "def maximal_cliques(graph, *, algorithm='default',\n"
         "                    rogue_knob=None, **options):\n"
         "    return None\n")
+    service = root / "repro" / "service"
+    parallel = root / "repro" / "parallel"
+    service.mkdir()
+    parallel.mkdir()
+    (service / "__init__.py").write_text("")
+    (parallel / "__init__.py").write_text("")
+    # Unguarded mutation of a rostered attribute -> locks finding.
+    (service / "registry.py").write_text(
+        "class GraphRegistry:\n"
+        "    def __init__(self):\n"
+        "        self.stats = 0\n"
+        "    def bump(self):\n"
+        "        self.stats += 1\n")
+    # Opaque shipped field -> picklesafety; import-time lock in the
+    # worker entry module -> forksafety.
+    (parallel / "pool.py").write_text(
+        "import threading\n"
+        "_EAGER = threading.Lock()\n"
+        "class GraphState:\n"
+        "    blob: object\n")
+    # Dropped connection handle -> lifecycle finding.
+    (parallel / "leak.py").write_text(
+        "import socket\n"
+        "def probe(host):\n"
+        "    socket.create_connection((host, 80))\n")
 
 
 class TestExitCodes:
@@ -132,6 +158,10 @@ class TestCliFrontend:
         assert "has no 'bit_pivot_phase' twin" in out
         assert "bit_hot_scan" in out and "set() call" in out
         assert "rogue_knob" in out
+        assert "GraphRegistry.bump" in out and "· locks ·" in out
+        assert "GraphState.blob" in out and "· picklesafety ·" in out
+        assert "threading.Lock" in out and "· forksafety ·" in out
+        assert "immediately dropped" in out and "· lifecycle ·" in out
 
     def test_lint_subcommand_update_baseline(self, tmp_path, capsys):
         tree = tmp_path / "src"
@@ -145,7 +175,78 @@ class TestCliFrontend:
         capsys.readouterr()
 
 
+class TestExplain:
+    def test_explain_known_checker(self, capsys):
+        assert cli_main(["lint", "--explain", "locks"]) == 0
+        out = capsys.readouterr().out
+        assert "checker: locks" in out
+        assert "rule:" in out and "rationale:" in out
+        assert "# repro-lint: allow[locks]" in out
+
+    def test_explain_covers_every_checker(self, capsys):
+        for name in sorted(CHECKERS):
+            assert cli_main(["lint", "--explain", name]) == 0
+        capsys.readouterr()
+
+    def test_explain_unknown_checker_is_2(self, capsys):
+        assert cli_main(["lint", "--explain", "nope"]) == 2
+        err = capsys.readouterr().err
+        assert err.count("\n") == 1
+        assert "unknown checker 'nope'" in err
+
+
+class TestCheckersSubset:
+    def test_subset_runs_only_named_checkers(self, fixtures, tmp_path):
+        # parity_bad also has purity material; a purity-only run must
+        # not report parity findings.
+        code, out, _ = _run(fixtures / "parity_bad",
+                            tmp_path / "baseline.json",
+                            config=PARITY_CONFIG, checkers_spec="purity")
+        assert "· parity ·" not in out
+        code, out, _ = _run(fixtures / "parity_bad",
+                            tmp_path / "baseline.json",
+                            config=PARITY_CONFIG, checkers_spec="parity")
+        assert code == 1
+        assert "· parity ·" in out
+
+    def test_unknown_checker_name_is_2(self, fixtures, tmp_path):
+        code, _, err = _run(fixtures / "parity_good",
+                            tmp_path / "baseline.json",
+                            config=PARITY_CONFIG, checkers_spec="parity,nope")
+        assert code == 2
+        assert err.count("\n") == 1
+        assert "unknown checker(s) nope" in err
+
+    def test_subset_ignores_other_checkers_baseline(self, fixtures,
+                                                    tmp_path):
+        # Baseline the parity findings, then run only purity: the parity
+        # entries must not surface as stale.
+        baseline = tmp_path / "baseline.json"
+        bad = fixtures / "parity_bad"
+        assert _run(bad, baseline, config=PARITY_CONFIG,
+                    update_baseline=True)[0] == 0
+        code, _, err = _run(bad, baseline, config=PARITY_CONFIG,
+                            checkers_spec="purity")
+        assert code == 0
+        assert "stale" not in err or "0 stale" in err
+
+    def test_update_baseline_with_subset_is_2(self, fixtures, tmp_path):
+        code, _, err = _run(fixtures / "parity_bad",
+                            tmp_path / "baseline.json",
+                            config=PARITY_CONFIG, checkers_spec="parity",
+                            update_baseline=True)
+        assert code == 2
+        assert "cannot be combined" in err
+
+
 class TestLiveTree:
+    def test_registry_has_all_eight_checkers(self):
+        assert set(CHECKERS) == {
+            "parity", "purity", "knobs", "boundaries",
+            "locks", "picklesafety", "forksafety", "lifecycle",
+        }
+        assert set(EXPLAIN) == set(CHECKERS)
+
     def test_shipped_src_lints_clean(self):
         assert run_lint(DEFAULT_SRC, DEFAULT_CONFIG) == []
 

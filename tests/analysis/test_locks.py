@@ -1,0 +1,62 @@
+"""The lock-discipline checker against good and bad fixture trees."""
+
+from repro.analysis.checkers import locks
+from repro.analysis.config import LintConfig, LockRoster
+from repro.analysis.index import ModuleIndex
+
+CONFIG = LintConfig(
+    lock_rosters=(
+        LockRoster(module="locksmod", cls="Store", lock_attr="_lock",
+                   guarded=("items",)),
+        LockRoster(module="locksmod", cls="Alpha", lock_attr="_lock",
+                   guarded=("value",)),
+        LockRoster(module="locksmod", cls="Beta", lock_attr="_lock",
+                   guarded=("value",)),
+    ),
+    attribute_types=(
+        ("locksmod:Alpha.peer", "locksmod:Beta"),
+        ("locksmod:Beta.peer", "locksmod:Alpha"),
+    ),
+)
+
+
+def _findings(fixtures, tree):
+    index = ModuleIndex.build(fixtures / tree)
+    return locks.check(index, CONFIG)
+
+
+class TestLocksBad:
+    def test_unguarded_mutation_flagged(self, fixtures):
+        findings = _findings(fixtures, "locks_bad")
+        hits = [f for f in findings
+                if "self.items" in f.message and "Store.put" in f.message]
+        assert len(hits) == 1
+        assert hits[0].rel == "locksmod.py"
+
+    def test_guarded_mutator_call_not_flagged(self, fixtures):
+        # Store.drop mutates via .pop() but under the lock.
+        messages = [f.message for f in _findings(fixtures, "locks_bad")]
+        assert not any("Store.drop" in m for m in messages)
+
+    def test_lock_order_inversion_flagged(self, fixtures):
+        findings = _findings(fixtures, "locks_bad")
+        cycles = [f for f in findings
+                  if "inconsistent lock acquisition order" in f.message]
+        assert len(cycles) == 1
+        assert "Alpha._lock" in cycles[0].message
+        assert "Beta._lock" in cycles[0].message
+
+    def test_constructor_exempt(self, fixtures):
+        messages = [f.message for f in _findings(fixtures, "locks_bad")]
+        assert not any("__init__" in m for m in messages)
+
+
+class TestLocksGood:
+    def test_clean_tree(self, fixtures):
+        assert _findings(fixtures, "locks_good") == []
+
+    def test_locked_private_helper_exempt(self, fixtures):
+        # _put_locked mutates unguarded, but is only reached with the
+        # lock held — the reachability walk must not flag it.
+        messages = [f.message for f in _findings(fixtures, "locks_good")]
+        assert not any("_put_locked" in m for m in messages)

@@ -1,0 +1,49 @@
+"""The pickle-safety checker against good and bad fixture trees."""
+
+from repro.analysis.checkers import picklesafety
+from repro.analysis.config import LintConfig
+from repro.analysis.index import ModuleIndex
+
+CONFIG = LintConfig(
+    worker_packages=("workers",),
+    pickle_roster=("workers.tasks:Task",),
+)
+
+
+def _findings(fixtures, tree):
+    index = ModuleIndex.build(fixtures / tree)
+    return picklesafety.check(index, CONFIG)
+
+
+class TestPickleBad:
+    def test_opaque_field_flagged(self, fixtures):
+        findings = _findings(fixtures, "pickle_bad")
+        hits = [f for f in findings if "Task.payload" in f.message]
+        assert len(hits) == 1
+        assert "object" in hits[0].message
+        assert hits[0].rel == "workers/tasks.py"
+
+    def test_atom_field_not_flagged(self, fixtures):
+        messages = [f.message for f in _findings(fixtures, "pickle_bad")]
+        assert not any("Task.index" in m for m in messages)
+
+    def test_shipped_closure_flagged(self, fixtures):
+        findings = _findings(fixtures, "pickle_bad")
+        hits = [f for f in findings if "_handler" in f.message]
+        assert len(hits) == 1
+        assert "apply_async()" in hits[0].message
+
+    def test_shipped_lambda_flagged(self, fixtures):
+        findings = _findings(fixtures, "pickle_bad")
+        hits = [f for f in findings if "lambda" in f.message]
+        assert len(hits) == 1
+        assert "map_async()" in hits[0].message
+
+
+class TestPickleGood:
+    def test_clean_tree(self, fixtures):
+        assert _findings(fixtures, "pickle_good") == []
+
+    def test_callback_lambda_exempt(self, fixtures):
+        # pickle_good ships a lambda in callback= — parent-side, exempt.
+        assert _findings(fixtures, "pickle_good") == []

@@ -453,3 +453,39 @@ class TestApiIntegration:
     def test_single_vertex(self):
         assert maximal_cliques(Graph(1), n_jobs=2) == [(0,)]
         assert count_maximal_cliques(Graph(1), n_jobs=2) == 1
+
+
+class TestPoolThreadSafety:
+    """Pinned regression for the unlocked WorkerPool spin-up.
+
+    Before WorkerPool carried its own RLock, concurrent submits could
+    both see ``_pool is None`` and spawn two process pools, leaking one.
+    """
+
+    def test_concurrent_ensure_pool_spins_up_once(self):
+        import threading
+
+        pool = WorkerPool(2, warm=True)
+        try:
+            n_threads = 4
+            barrier = threading.Barrier(n_threads)
+            seen, errors = [], []
+
+            def work():
+                try:
+                    barrier.wait(timeout=10)
+                    seen.append(pool._ensure_pool(2))
+                except Exception as exc:  # pragma: no cover
+                    errors.append(exc)
+
+            threads = [threading.Thread(target=work)
+                       for _ in range(n_threads)]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(30)
+            assert errors == []
+            assert pool.spinups == 1
+            assert len({id(p) for p in seen}) == 1
+        finally:
+            pool.close()

@@ -123,3 +123,41 @@ class TestRegistry:
         a = registry.register(graph, name="a")
         b = registry.register(complete_graph(3), name="b")
         assert registry.entries() == [a, b]
+
+
+class TestRegistryThreadSafety:
+    """Pinned regression for the unlocked registry maps and counters.
+
+    Before GraphRegistry carried its own RLock, concurrent register()
+    calls could both miss ``_by_fingerprint`` and build the entry twice,
+    and the stats counters could drop increments under contention.
+    """
+
+    def test_concurrent_register_and_decomposition(self, graph):
+        import threading
+
+        registry = GraphRegistry()
+        n_threads = 8
+        barrier = threading.Barrier(n_threads)
+        entries, errors = [], []
+
+        def work():
+            try:
+                barrier.wait(timeout=10)
+                entry = registry.register(graph, name="g")
+                registry.decomposition(entry, "edges")
+                entries.append(entry)
+            except Exception as exc:  # pragma: no cover - failure detail
+                errors.append(exc)
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(20)
+        assert errors == []
+        assert len(registry) == 1
+        assert len({id(e) for e in entries}) == 1
+        assert registry.stats.decompose_calls == 1
+        assert (registry.stats.decompose_calls
+                + registry.stats.decompose_cache_hits) == n_threads

@@ -243,3 +243,41 @@ class TestTCPTransport:
                     client.count("never-registered")
                 client.shutdown()
             thread.join(10)
+
+
+class TestMetricsServerLifecycle:
+    """Pinned regression for the serve_metrics_http socket leak.
+
+    A failing ready() callback used to propagate with the bound socket
+    still open — nobody held a reference to close it.
+    """
+
+    def test_failing_ready_closes_socket(self, service, monkeypatch):
+        from repro.service import server as server_module
+
+        created = []
+
+        class Recording(server_module.MetricsHTTPServer):
+            def __init__(self, *args, **kwargs):
+                super().__init__(*args, **kwargs)
+                created.append(self)
+
+        monkeypatch.setattr(server_module, "MetricsHTTPServer", Recording)
+
+        def ready(address):
+            raise RuntimeError("boom")
+
+        with pytest.raises(RuntimeError, match="boom"):
+            server_module.serve_metrics_http(service, ready=ready)
+        assert len(created) == 1
+        assert created[0].socket.fileno() == -1
+
+    def test_successful_start_returns_open_server(self, service):
+        from repro.service import server as server_module
+
+        server = server_module.serve_metrics_http(service)
+        try:
+            assert server.socket.fileno() != -1
+        finally:
+            server.shutdown()
+            server.server_close()
